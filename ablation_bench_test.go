@@ -1,0 +1,449 @@
+// Ablation benchmarks for the design choices the paper discusses but does
+// not sweep (DESIGN.md §5): the matching algorithm (§IV-B), the additional
+// page-fault rate (§III-C3), the detection granularity (§III-C1), the
+// temporal false-communication window (§III-C2) and the communication-filter
+// threshold (§IV-A).
+//
+//	go test -bench=Ablation -benchtime=1x
+package spcd_test
+
+import (
+	"fmt"
+	"testing"
+
+	"spcd/internal/commmatrix"
+	"spcd/internal/engine"
+	"spcd/internal/mapping"
+	"spcd/internal/policy"
+	"spcd/internal/topology"
+	"spcd/internal/trace"
+	"spcd/internal/vm"
+	"spcd/internal/workloads"
+)
+
+// BenchmarkAblation_Matching compares Edmonds' optimal matching against the
+// greedy heuristic, both as mapping quality (communication cost of the
+// resulting placement under the ground-truth matrix, normalized to Edmonds)
+// and as algorithm runtime.
+func BenchmarkAblation_Matching(b *testing.B) {
+	mach := topology.DefaultXeon()
+	w, err := workloads.NewNPB("SP", 32, workloads.ClassTiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := trace.CommunicationMatrix(w, 1, mach.PageSize)
+
+	affEdmonds, err := mapping.Compute(truth, mach, mapping.Edmonds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edmondsCost := mapping.Cost(truth, mach, affEdmonds)
+
+	matchers := []struct {
+		name string
+		m    mapping.Matcher
+	}{
+		{"edmonds", mapping.Edmonds},
+		{"greedy", mapping.Greedy},
+	}
+	for _, mt := range matchers {
+		b.Run(mt.name, func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				aff, err := mapping.Compute(truth, mach, mt.m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = mapping.Cost(truth, mach, aff)
+			}
+			b.ReportMetric(cost/edmondsCost, "normCost")
+		})
+	}
+}
+
+// BenchmarkAblation_SamplingRate sweeps the additional page-fault budget
+// (the paper fixes ~10%, §III-C3) and reports the detection accuracy
+// (similarity of the detected matrix to the ground truth) against the
+// induced-fault overhead.
+func BenchmarkAblation_SamplingRate(b *testing.B) {
+	mach := topology.DefaultXeon()
+	w, err := workloads.NewNPB("SP", 32, workloads.ClassTiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := trace.CommunicationMatrix(w, 1, mach.PageSize)
+	for _, batch := range []int{2, 8, 24, 64, 160} {
+		b.Run(fmt.Sprintf("minbatch=%d", batch), func(b *testing.B) {
+			var sim, ovh float64
+			for i := 0; i < b.N; i++ {
+				cfg := policy.TunedSPCDConfig(w, mach)
+				cfg.MinBatch = batch
+				opts := policy.TunedSPCDOptions(w, mach)
+				opts.Config = &cfg
+				p := policy.NewSPCD(opts)
+				m, err := engine.Run(engine.Config{Machine: mach, Workload: w, Policy: p, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = m.CommMatrix.Similarity(truth)
+				ovh = m.DetectionOverheadPct
+			}
+			b.ReportMetric(sim, "similarity")
+			b.ReportMetric(ovh, "detect%")
+		})
+	}
+}
+
+// BenchmarkAblation_Granularity sweeps the detection granularity (§III-C1):
+// finer granularities reduce spatial false communication but collect fewer
+// events per fault.
+func BenchmarkAblation_Granularity(b *testing.B) {
+	mach := topology.DefaultXeon()
+	w, err := workloads.NewNPB("SP", 32, workloads.ClassTiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := trace.CommunicationMatrix(w, 1, mach.PageSize)
+	for _, gran := range []int{1 << 12, 1 << 14, 1 << 16, 1 << 18} {
+		b.Run(fmt.Sprintf("gran=%dKB", gran/1024), func(b *testing.B) {
+			var sim, events float64
+			for i := 0; i < b.N; i++ {
+				cfg := policy.TunedSPCDConfig(w, mach)
+				cfg.Granularity = gran
+				opts := policy.TunedSPCDOptions(w, mach)
+				opts.Config = &cfg
+				p := policy.NewSPCD(opts)
+				m, err := engine.Run(engine.Config{Machine: mach, Workload: w, Policy: p, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = m.CommMatrix.Similarity(truth)
+				events = float64(p.Detector().Stats().CommEvents)
+			}
+			b.ReportMetric(sim, "similarity")
+			b.ReportMetric(events, "events")
+		})
+	}
+}
+
+// BenchmarkAblation_TableSize sweeps the hash-table capacity (Table I uses
+// 256,000 elements with overwrite-on-collision, §III-B1). Undersized tables
+// evict sharer history, costing detection accuracy; the bench reports the
+// eviction pressure and the resulting similarity.
+func BenchmarkAblation_TableSize(b *testing.B) {
+	mach := topology.DefaultXeon()
+	w, err := workloads.NewNPB("SP", 32, workloads.ClassTiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := trace.CommunicationMatrix(w, 1, mach.PageSize)
+	for _, size := range []int{64, 256, 2048, 256000} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			var sim, evictions float64
+			for i := 0; i < b.N; i++ {
+				cfg := policy.TunedSPCDConfig(w, mach)
+				cfg.TableSize = size
+				opts := policy.TunedSPCDOptions(w, mach)
+				opts.Config = &cfg
+				p := policy.NewSPCD(opts)
+				m, err := engine.Run(engine.Config{Machine: mach, Workload: w, Policy: p, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = m.CommMatrix.Similarity(truth)
+				evictions = float64(p.Detector().TableStats().Evictions)
+			}
+			b.ReportMetric(sim, "similarity")
+			b.ReportMetric(evictions, "evictions")
+		})
+	}
+}
+
+// BenchmarkAblation_ThreadScaling runs SP at several thread counts and
+// reports the oracle's execution-time gain over the OS baseline — how the
+// value of communication-aware placement grows with the thread count (the
+// paper evaluates only the full 32 threads).
+func BenchmarkAblation_ThreadScaling(b *testing.B) {
+	mach := topology.DefaultXeon()
+	for _, threads := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			w, err := workloads.NewNPB("SP", threads, workloads.ClassTiny)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var norm float64
+			for i := 0; i < b.N; i++ {
+				base, err := engine.Run(engine.Config{Machine: mach, Workload: w,
+					Policy: mustTuned(b, "os", w, mach), Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				oracle, err := engine.Run(engine.Config{Machine: mach, Workload: w,
+					Policy: mustTuned(b, "oracle", w, mach), Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				norm = oracle.ExecSeconds / base.ExecSeconds
+			}
+			b.ReportMetric(norm, "oracleNormTime")
+		})
+	}
+}
+
+// BenchmarkAblation_TemporalWindow toggles the temporal false-communication
+// filter (§III-C2). Without a window, stale sharers (for instance the
+// master thread that initialized all pages) pollute the matrix.
+func BenchmarkAblation_TemporalWindow(b *testing.B) {
+	mach := topology.DefaultXeon()
+	w, err := workloads.NewNPB("SP", 32, workloads.ClassTiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := trace.CommunicationMatrix(w, 1, mach.PageSize)
+	windows := []struct {
+		name   string
+		factor uint64 // sampler periods; 0 disables
+	}{
+		{"off", 0}, {"4periods", 4}, {"16periods", 16}, {"64periods", 64},
+	}
+	for _, win := range windows {
+		b.Run(win.name, func(b *testing.B) {
+			var sim, dropped float64
+			for i := 0; i < b.N; i++ {
+				cfg := policy.TunedSPCDConfig(w, mach)
+				cfg.TimeWindow = win.factor * cfg.SamplerInterval
+				opts := policy.TunedSPCDOptions(w, mach)
+				opts.Config = &cfg
+				p := policy.NewSPCD(opts)
+				m, err := engine.Run(engine.Config{Machine: mach, Workload: w, Policy: p, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = m.CommMatrix.Similarity(truth)
+				dropped = float64(p.Detector().Stats().TemporalDropped)
+			}
+			b.ReportMetric(sim, "similarity")
+			b.ReportMetric(dropped, "dropped")
+		})
+	}
+}
+
+// BenchmarkComparison_DetectionMechanisms pits SPCD against the two
+// related-work detection mechanisms the paper discusses in §VI-B: the
+// TLB-comparison approach of the authors' earlier work (ref. [22]) and the
+// indirect hardware-performance-counter estimation (ref. [7]). Reported per
+// mechanism: detection accuracy (similarity to the ground-truth trace),
+// execution time relative to the OS baseline, and detection overhead.
+func BenchmarkComparison_DetectionMechanisms(b *testing.B) {
+	mach := topology.DefaultXeon()
+	w, err := workloads.NewNPB("SP", 32, workloads.ClassTiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := trace.CommunicationMatrix(w, 1, mach.PageSize)
+	baseline, err := engine.Run(engine.Config{Machine: mach, Workload: w,
+		Policy: mustTuned(b, "os", w, mach), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range []string{"spcd", "tlb", "hwc"} {
+		b.Run(name, func(b *testing.B) {
+			var sim, normTime, ovh float64
+			for i := 0; i < b.N; i++ {
+				m, err := engine.Run(engine.Config{Machine: mach, Workload: w,
+					Policy: mustTuned(b, name, w, mach), Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = m.CommMatrix.Similarity(truth)
+				normTime = m.ExecSeconds / baseline.ExecSeconds
+				ovh = m.DetectionOverheadPct
+			}
+			b.ReportMetric(sim, "similarity")
+			b.ReportMetric(normTime, "normTime")
+			b.ReportMetric(ovh, "detect%")
+		})
+	}
+}
+
+func mustTuned(b *testing.B, name string, w workloads.Workload, m *topology.Machine) engine.Policy {
+	b.Helper()
+	p, err := policy.Tuned(name, w, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkExtension_DataMapping evaluates the paper's named-but-not-
+// evaluated extension (§IV: "the mechanisms can be used to perform data
+// mapping as well"): migrating pages to their dominant accessor's NUMA
+// node. The workload's per-socket working set exceeds the L3, the regime
+// where DRAM locality matters; serial initialization homes everything on
+// node 0, which the extension then corrects.
+func BenchmarkExtension_DataMapping(b *testing.B) {
+	mach := topology.DefaultXeon()
+	w := workloads.NewSynth(workloads.SynthSpec{
+		KernelName: "drambound",
+		Threads:    32,
+		Class: workloads.Class{
+			Name: "drambound", PrivatePages: 512, BoundaryPages: 4,
+			GlobalPages: 16, Accesses: 28_000, ComputePerMemop: 2,
+		},
+		Graph:     workloads.Ring1D,
+		PairRatio: 0.05,
+	})
+	for _, enable := range []bool{false, true} {
+		name := "off"
+		if enable {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var remote, moved, exec float64
+			for i := 0; i < b.N; i++ {
+				opts := policy.TunedSPCDOptions(w, mach)
+				opts.DataMapping = enable
+				p := policy.NewSPCD(opts)
+				m, err := engine.Run(engine.Config{Machine: mach, Workload: w, Policy: p, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				remote = float64(m.Cache.DRAMRemote)
+				moved = float64(m.VM.PageMigrations)
+				exec = m.ExecSeconds * 1000
+			}
+			b.ReportMetric(remote, "dramRemote")
+			b.ReportMetric(moved, "pagesMoved")
+			b.ReportMetric(exec, "simMs")
+		})
+	}
+}
+
+// BenchmarkExtension_ParsecSuite runs the PARSEC/SPLASH-style extension
+// kernels (suites the paper's related work characterizes, refs. [19]/[20])
+// under the OS baseline, the oracle, and SPCD, reporting normalized
+// execution time. Pipeline-stage kernels (dedup, ferret) exercise group
+// communication shapes the NAS suite lacks.
+func BenchmarkExtension_ParsecSuite(b *testing.B) {
+	mach := topology.DefaultXeon()
+	for _, kernel := range workloads.ParsecNames {
+		w, err := workloads.NewParsec(kernel, 32, workloads.ClassTiny)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, err := engine.Run(engine.Config{Machine: mach, Workload: w,
+			Policy: mustTuned(b, "os", w, mach), Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pol := range []string{"oracle", "spcd"} {
+			b.Run(kernel+"/"+pol, func(b *testing.B) {
+				var norm float64
+				for i := 0; i < b.N; i++ {
+					m, err := engine.Run(engine.Config{Machine: mach, Workload: w,
+						Policy: mustTuned(b, pol, w, mach), Seed: 1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					norm = m.ExecSeconds / base.ExecSeconds
+				}
+				b.ReportMetric(norm, "normTime")
+			})
+		}
+	}
+}
+
+// BenchmarkExtension_AllocPolicy runs the oracle mapping under the three
+// NUMA page-homing policies (first-touch, interleave, fixed-node) on a
+// workload whose per-socket working set exceeds the L3 — where homing
+// matters. Thread mapping and page homing interact: first-touch under a
+// serial-init workload concentrates data on one node; interleave splits the
+// remote penalty evenly.
+func BenchmarkExtension_AllocPolicy(b *testing.B) {
+	mach := topology.DefaultXeon()
+	w := workloads.NewSynth(workloads.SynthSpec{
+		KernelName: "drambound",
+		Threads:    32,
+		Class: workloads.Class{
+			Name: "drambound", PrivatePages: 512, BoundaryPages: 4,
+			GlobalPages: 16, Accesses: 28_000, ComputePerMemop: 2,
+		},
+		Graph:     workloads.Ring1D,
+		PairRatio: 0.05,
+	})
+	policies := []struct {
+		name  string
+		alloc vm.AllocPolicy
+	}{
+		{"first-touch", vm.AllocFirstTouch},
+		{"interleave", vm.AllocInterleave},
+		{"fixed-node", vm.AllocFixedNode},
+	}
+	for _, ap := range policies {
+		b.Run(ap.name, func(b *testing.B) {
+			var remote, exec float64
+			for i := 0; i < b.N; i++ {
+				m, err := engine.Run(engine.Config{Machine: mach, Workload: w,
+					Policy: mustTuned(b, "oracle", w, mach), Seed: 1,
+					AllocPolicy: ap.alloc})
+				if err != nil {
+					b.Fatal(err)
+				}
+				remote = float64(m.Cache.DRAMRemote)
+				exec = m.ExecSeconds * 1000
+			}
+			b.ReportMetric(remote, "dramRemote")
+			b.ReportMetric(exec, "simMs")
+		})
+	}
+}
+
+// BenchmarkAblation_FilterThreshold sweeps the communication-filter
+// threshold (§IV-A, the paper uses 2) and reports how often the mapping
+// algorithm runs versus the final placement quality.
+func BenchmarkAblation_FilterThreshold(b *testing.B) {
+	mach := topology.DefaultXeon()
+	w, err := workloads.NewNPB("SP", 32, workloads.ClassTiny)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := trace.CommunicationMatrix(w, 1, mach.PageSize)
+	for _, threshold := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threshold=%d", threshold), func(b *testing.B) {
+			var computations, cost float64
+			for i := 0; i < b.N; i++ {
+				// Drive the filter + mapper directly on snapshots of a
+				// noisy detected matrix sequence.
+				filter, err := mapping.NewFilter(32, threshold)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var seq []*commmatrix.Matrix
+				opts := policy.TunedSPCDOptions(w, mach)
+				opts.OnEvaluate = func(_ uint64, m *commmatrix.Matrix) {
+					seq = append(seq, m)
+				}
+				p := policy.NewSPCD(opts)
+				if _, err := engine.Run(engine.Config{Machine: mach, Workload: w, Policy: p, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+				computations = 0
+				var aff []int
+				for _, snap := range seq {
+					if !filter.Changed(snap) {
+						continue
+					}
+					computations++
+					if a, err := mapping.Compute(snap, mach, nil); err == nil {
+						aff = a
+					}
+				}
+				if aff != nil {
+					cost = mapping.Cost(truth, mach, aff)
+				}
+			}
+			b.ReportMetric(computations, "computations")
+			b.ReportMetric(cost, "finalCost")
+		})
+	}
+}

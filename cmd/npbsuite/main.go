@@ -1,0 +1,218 @@
+// Command npbsuite runs the full NAS-suite evaluation of the paper: every
+// kernel under the mapping policies, repeated with several seeds, and
+// prints the series behind Figures 8-15 (normalized to the OS baseline)
+// plus the Table II absolute rows.
+//
+// Usage:
+//
+//	npbsuite -class small -reps 3                   # all metrics, all kernels
+//	npbsuite -metric time -kernels SP,BT,FT         # one figure, some kernels
+//	npbsuite -policies os,spcd,tlb,hwc -csv out.csv # comparators + CSV export
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spcd"
+	"spcd/internal/report"
+)
+
+var figureForMetric = map[spcd.Metric]string{
+	spcd.MetricTime:       "Figure 8  — execution time",
+	spcd.MetricL2MPKI:     "Figure 9  — L2 cache MPKI",
+	spcd.MetricL3MPKI:     "Figure 10 — L3 cache MPKI",
+	spcd.MetricC2C:        "Figure 11 — cache-to-cache transactions",
+	spcd.MetricProcEnergy: "Figure 12 — total processor energy",
+	spcd.MetricDRAMEnergy: "Figure 13 — total DRAM energy",
+	spcd.MetricProcEPI:    "Figure 14 — processor energy per instruction",
+	spcd.MetricDRAMEPI:    "Figure 15 — DRAM energy per instruction",
+}
+
+var figureMetrics = []spcd.Metric{
+	spcd.MetricTime, spcd.MetricL2MPKI, spcd.MetricL3MPKI, spcd.MetricC2C,
+	spcd.MetricProcEnergy, spcd.MetricDRAMEnergy, spcd.MetricProcEPI, spcd.MetricDRAMEPI,
+}
+
+func main() {
+	var (
+		class    = flag.String("class", "small", "workload class: test, tiny, small, A")
+		reps     = flag.Int("reps", 3, "repetitions per configuration (paper: 10)")
+		metric   = flag.String("metric", "", "single metric to report (default: all figures + Table II)")
+		kernels  = flag.String("kernels", "", "comma-separated kernel subset (default: all ten)")
+		policies = flag.String("policies", "", "comma-separated policies (default: os,random,oracle,spcd; also: tlb, hwc)")
+		threads  = flag.Int("threads", 32, "threads per benchmark")
+		seed     = flag.Int64("seed", 0, "base seed")
+		csvPath  = flag.String("csv", "", "also write every table as CSV to this file")
+	)
+	flag.Parse()
+
+	cls, err := spcd.ClassByName(*class)
+	if err != nil {
+		fatal(err)
+	}
+	names := spcd.NPBNames
+	if *kernels != "" {
+		names = splitList(*kernels)
+	}
+	pols := spcd.PolicyNames
+	if *policies != "" {
+		pols = splitList(*policies)
+	}
+	mach := spcd.DefaultMachine()
+
+	results := make(map[string]*spcd.Results, len(names))
+	for _, name := range names {
+		w, err := spcd.NPB(name, *threads, cls)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "running %s (%d policies x %d reps)...\n", name, len(pols), *reps)
+		res, err := spcd.Experiment{
+			Machine:  mach,
+			Workload: w,
+			Policies: pols,
+			Reps:     *reps,
+			BaseSeed: *seed,
+		}.Run()
+		if err != nil {
+			fatal(err)
+		}
+		results[name] = res
+	}
+
+	var tables []*report.Table
+	metrics := figureMetrics
+	if *metric != "" {
+		metrics = []spcd.Metric{spcd.Metric(*metric)}
+	}
+	for _, m := range metrics {
+		tables = append(tables, figureTable(names, pols, results, m))
+	}
+	if *metric == "" && contains(pols, "spcd") && contains(pols, "os") {
+		tables = append(tables, tableII(names, results))
+	}
+	for _, t := range tables {
+		fmt.Println()
+		if err := t.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		for _, t := range tables {
+			fmt.Fprintf(f, "# %s\n", t.Title)
+			if err := t.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(f)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+}
+
+// figureTable builds one of Figures 8-15: per kernel, the metric value of
+// every policy normalized to the OS baseline.
+func figureTable(names, pols []string, results map[string]*spcd.Results, metric spcd.Metric) *report.Table {
+	title := figureForMetric[metric]
+	if title == "" {
+		title = string(metric)
+	}
+	t := report.NewTable(title+" (normalized to the OS baseline)", append([]string{"kernel"}, pols...)...)
+	for _, name := range names {
+		res := results[name]
+		row := []string{name}
+		for _, p := range pols {
+			v, err := res.NormalizedMean(p, metric, "os")
+			if err != nil {
+				row = append(row, "n/a")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.3f", v))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// tableII builds the absolute SPCD results with the percentage change
+// versus the OS mapping, mirroring Table II.
+func tableII(names []string, results map[string]*spcd.Results) *report.Table {
+	rows := []struct {
+		label  string
+		metric spcd.Metric
+		format string
+	}{
+		{"Execution time (s)", spcd.MetricTime, "%.4f"},
+		{"L2 cache MPKI", spcd.MetricL2MPKI, "%.2f"},
+		{"L3 cache MPKI", spcd.MetricL3MPKI, "%.2f"},
+		{"Cache-to-cache transactions", spcd.MetricC2C, "%.0f"},
+		{"Total processor energy (J)", spcd.MetricProcEnergy, "%.3f"},
+		{"Total DRAM energy (J)", spcd.MetricDRAMEnergy, "%.4f"},
+		{"Proc. energy per inst. (nJ)", spcd.MetricProcEPI, "%.2f"},
+		{"DRAM energy per inst. (nJ)", spcd.MetricDRAMEPI, "%.3f"},
+	}
+	t := report.NewTable("Table II — absolute SPCD results (difference to the OS mapping in parentheses)",
+		append([]string{"parameter"}, names...)...)
+	for _, row := range rows {
+		cells := []string{row.label}
+		for _, name := range names {
+			res := results[name]
+			sum, err := res.Summary("spcd", row.metric)
+			if err != nil {
+				cells = append(cells, "n/a")
+				continue
+			}
+			pct, _ := res.PercentChange("spcd", row.metric, "os")
+			cells = append(cells, fmt.Sprintf(row.format+" (%+.1f%%)", sum.Mean, pct))
+		}
+		t.AddRow(cells...)
+	}
+	addSimpleRow := func(label string, metric spcd.Metric, format string) {
+		cells := []string{label}
+		for _, name := range names {
+			sum, err := results[name].Summary("spcd", metric)
+			if err != nil {
+				cells = append(cells, "n/a")
+				continue
+			}
+			cells = append(cells, fmt.Sprintf(format, sum.Mean))
+		}
+		t.AddRow(cells...)
+	}
+	addSimpleRow("Number of migrations", spcd.MetricMigrations, "%.1f")
+	addSimpleRow("Detection overhead", spcd.MetricDetectOvh, "%.2f%%")
+	addSimpleRow("Mapping overhead", spcd.MetricMappingOvh, "%.2f%%")
+	return t
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "npbsuite:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command spcdsim runs one benchmark under one mapping policy on the
+// simulated machine and prints the measured metrics — the smallest useful
+// entry point into the reproduction.
+//
+// Usage:
+//
+//	spcdsim -bench SP -policy spcd -class tiny -threads 32 -seed 1 -matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spcd"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "SP", "benchmark: one of BT CG DC EP FT IS LU MG SP UA, or 'pc' for producer/consumer")
+		policy  = flag.String("policy", "spcd", "mapping policy: os, random, oracle, spcd")
+		class   = flag.String("class", "tiny", "workload class: test, tiny, small, A")
+		threads = flag.Int("threads", 32, "number of application threads")
+		seed    = flag.Int64("seed", 1, "run seed")
+		matrix  = flag.Bool("matrix", false, "print the detected communication matrix (spcd/oracle only)")
+	)
+	flag.Parse()
+
+	cls, err := spcd.ClassByName(*class)
+	if err != nil {
+		fatal(err)
+	}
+	mach := spcd.DefaultMachine()
+	w, err := workloadByName(*bench, *threads, cls)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := spcd.Run(mach, w, *policy, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("benchmark      %s (class %s, %d threads)\n", w.Name(), *class, *threads)
+	fmt.Printf("policy         %s\n", m.Policy)
+	fmt.Printf("exec time      %.6f s (%d cycles)\n", m.ExecSeconds, m.ExecCycles)
+	fmt.Printf("instructions   %d\n", m.Instructions)
+	fmt.Printf("L2 MPKI        %.2f\n", m.L2MPKI)
+	fmt.Printf("L3 MPKI        %.2f\n", m.L3MPKI)
+	fmt.Printf("c2c transact.  %d (%d cross-socket)\n", m.Cache.C2CTotal(), m.Cache.C2CCrossSocket)
+	fmt.Printf("DRAM accesses  %d (%d remote)\n", m.Cache.DRAMTotal(), m.Cache.DRAMRemote)
+	fmt.Printf("invalidations  %d\n", m.Cache.Invalidations)
+	fmt.Printf("page faults    %d (%d induced)\n", m.VM.TotalFaults(), m.VM.InducedFaults)
+	fmt.Printf("proc energy    %.3f J (%.3f nJ/instr)\n", m.Energy.ProcessorJoules, m.Energy.ProcPerInstrNJ)
+	fmt.Printf("DRAM energy    %.3f J (%.3f nJ/instr)\n", m.Energy.DRAMJoules, m.Energy.DRAMPerInstrNJ)
+	fmt.Printf("migrations     %d events (%d thread moves)\n", m.Migrations, m.MigratedThreads)
+	fmt.Printf("overhead       detection %.3f%%, mapping %.3f%%\n", m.DetectionOverheadPct, m.MappingOverheadPct)
+	if *matrix {
+		if m.CommMatrix == nil {
+			fmt.Println("no communication matrix (policy does not detect)")
+		} else {
+			fmt.Println("\ndetected communication matrix:")
+			fmt.Print(spcd.RenderHeatmap(m.CommMatrix))
+		}
+	}
+}
+
+func workloadByName(name string, threads int, cls spcd.Class) (spcd.Workload, error) {
+	if name == "pc" {
+		return spcd.ProducerConsumer(threads, cls, 4, cls.Accesses/4)
+	}
+	return spcd.NPB(name, threads, cls)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spcdsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Command validate runs a compact end-to-end check that the reproduction
+// still exhibits the paper's shape (intended for CI and for validating
+// parameter changes):
+//
+//  1. SPCD detects the producer/consumer phases and the NAS patterns
+//     separate into heterogeneous and homogeneous classes (Figs. 6/7).
+//  2. The oracle beats the OS baseline on strongly heterogeneous kernels
+//     and does nothing on homogeneous ones (Fig. 8's shape).
+//  3. SPCD lands between OS and oracle on the strong kernels, with
+//     bounded overhead (Figs. 8/16).
+//
+// Exit status 0 means all checks passed.
+//
+// Usage:
+//
+//	validate            # tiny class, ~30 s
+//	validate -class small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spcd"
+)
+
+var failures int
+
+func check(ok bool, format string, args ...interface{}) {
+	status := "ok  "
+	if !ok {
+		status = "FAIL"
+		failures++
+	}
+	fmt.Printf("[%s] %s\n", status, fmt.Sprintf(format, args...))
+}
+
+func main() {
+	var (
+		class = flag.String("class", "tiny", "workload class: test, tiny, small, A")
+		seed  = flag.Int64("seed", 1, "run seed")
+	)
+	flag.Parse()
+
+	cls, err := spcd.ClassByName(*class)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(2)
+	}
+	mach := spcd.DefaultMachine()
+
+	// --- 1. Detection shape (Figs. 6/7) ---
+	pc, err := spcd.ProducerConsumer(32, cls, 4, cls.Accesses/4)
+	must(err)
+	pcRun, err := spcd.Run(mach, pc, "spcd", *seed)
+	must(err)
+	check(pcRun.Migrations >= 1, "producer/consumer: SPCD migrated on phase changes (%d events)", pcRun.Migrations)
+	check(pcRun.CommMatrix != nil && pcRun.CommMatrix.Total() > 0,
+		"producer/consumer: communication detected")
+
+	hetMin, homoMax := 1e9, -1.0
+	for _, kernel := range []string{"SP", "BT", "UA", "EP", "FT", "IS"} {
+		w, err := spcd.NPB(kernel, 32, cls)
+		must(err)
+		h := spcd.TraceCommunication(w, mach, *seed).Heterogeneity()
+		if spcd.HeterogeneousKernels[kernel] {
+			if h < hetMin {
+				hetMin = h
+			}
+		} else if h > homoMax {
+			homoMax = h
+		}
+	}
+	check(hetMin > homoMax,
+		"pattern classes separate: min heterogeneous %.2f > max homogeneous %.2f", hetMin, homoMax)
+
+	// --- 2./3. Performance shape (Figs. 8/16) ---
+	for _, kernel := range []string{"SP", "EP"} {
+		w, err := spcd.NPB(kernel, 32, cls)
+		must(err)
+		osRun, err := spcd.Run(mach, w, "os", *seed)
+		must(err)
+		oracleRun, err := spcd.Run(mach, w, "oracle", *seed)
+		must(err)
+		spcdRun, err := spcd.Run(mach, w, "spcd", *seed)
+		must(err)
+		oracleNorm := oracleRun.ExecSeconds / osRun.ExecSeconds
+		spcdNorm := spcdRun.ExecSeconds / osRun.ExecSeconds
+		if spcd.HeterogeneousKernels[kernel] {
+			check(oracleNorm < 0.95, "%s: oracle gains over OS (%.3f)", kernel, oracleNorm)
+			check(spcdNorm < 1.10, "%s: SPCD within 10%% of OS or better (%.3f)", kernel, spcdNorm)
+			check(spcdRun.Migrations >= 1, "%s: SPCD migrated (%d)", kernel, spcdRun.Migrations)
+		} else {
+			check(oracleNorm > 0.93 && oracleNorm < 1.07,
+				"%s: oracle ~neutral on homogeneous pattern (%.3f)", kernel, oracleNorm)
+		}
+		check(spcdRun.DetectionOverheadPct+spcdRun.MappingOverheadPct < 15,
+			"%s: SPCD overhead bounded (%.2f%%)", kernel,
+			spcdRun.DetectionOverheadPct+spcdRun.MappingOverheadPct)
+	}
+
+	if failures > 0 {
+		fmt.Printf("\n%d check(s) FAILED\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nall checks passed")
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: detect the communication pattern of a parallel workload with
+// SPCD, compute a communication-aware thread mapping, and compare execution
+// under the OS baseline and under SPCD.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spcd"
+)
+
+func main() {
+	// The paper's machine: 2x Xeon E5-2650 (8 cores, 2-way SMT each).
+	mach := spcd.DefaultMachine()
+	fmt.Println("machine:", mach)
+
+	// A synthetic SP kernel: 32 threads, strong neighbour communication.
+	w, err := spcd.NPB("SP", 32, spcd.ClassTiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Detect the communication pattern online with SPCD.
+	detected, err := spcd.DetectCommunication(w, mach, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndetected communication pattern (darker = more communication):")
+	fmt.Print(spcd.RenderHeatmap(detected))
+	fmt.Printf("pattern heterogeneity: %.2f\n", detected.Heterogeneity())
+
+	// 2. Compute a mapping from it with the hierarchical Edmonds algorithm.
+	affinity, err := spcd.ComputeMapping(detected, mach)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthread -> context mapping:")
+	for t, ctx := range affinity {
+		if t%8 == 0 && t > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("T%02d->%02d ", t, ctx)
+	}
+	fmt.Println()
+
+	// 3. Compare execution time under the OS baseline and under SPCD.
+	osRun, err := spcd.Run(mach, w, "os", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spcdRun, err := spcd.Run(mach, w, "spcd", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nOS baseline : %.6f s, %d cache-to-cache transactions\n",
+		osRun.ExecSeconds, osRun.Cache.C2CTotal())
+	fmt.Printf("SPCD        : %.6f s, %d cache-to-cache transactions, %d migrations\n",
+		spcdRun.ExecSeconds, spcdRun.Cache.C2CTotal(), spcdRun.Migrations)
+	fmt.Printf("change      : %+.1f%% execution time\n",
+		100*(spcdRun.ExecSeconds-osRun.ExecSeconds)/osRun.ExecSeconds)
+}

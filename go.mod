@@ -1,0 +1,3 @@
+module spcd
+
+go 1.22

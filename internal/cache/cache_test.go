@@ -1,0 +1,261 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"spcd/internal/topology"
+)
+
+func newH() (*Hierarchy, *topology.Machine) {
+	m := topology.DefaultXeon()
+	return New(m), m
+}
+
+func TestColdMissThenL1Hit(t *testing.T) {
+	h, m := newH()
+	r1 := h.Access(0, 0x1000, false, 0)
+	if r1.Level != HitDRAM || r1.Miss != MissCold {
+		t.Fatalf("first access = %+v, want cold DRAM miss", r1)
+	}
+	if r1.Cycles != m.Lat.DRAMLocal {
+		t.Errorf("cycles = %d, want %d", r1.Cycles, m.Lat.DRAMLocal)
+	}
+	r2 := h.Access(0, 0x1000, false, 0)
+	if r2.Level != HitL1 || r2.Cycles != m.Lat.L1 {
+		t.Errorf("second access = %+v, want L1 hit", r2)
+	}
+}
+
+func TestRemoteDRAM(t *testing.T) {
+	h, m := newH()
+	r := h.Access(0, 0x1000, false, 1) // ctx 0 on socket 0, page on node 1
+	if r.Level != HitDRAM || !r.CrossSocket || r.Cycles != m.Lat.DRAMRemote {
+		t.Errorf("remote access = %+v", r)
+	}
+	if h.Stats().DRAMRemote != 1 {
+		t.Error("DRAMRemote not counted")
+	}
+}
+
+func TestSMTSiblingsShareL1(t *testing.T) {
+	h, _ := newH()
+	h.Access(0, 0x1000, false, 0)      // ctx 0, core 0
+	r := h.Access(1, 0x1000, false, 0) // ctx 1 is the SMT sibling
+	if r.Level != HitL1 {
+		t.Errorf("SMT sibling should hit the shared L1, got %v", r.Level)
+	}
+}
+
+func TestSameSocketL3Sharing(t *testing.T) {
+	h, _ := newH()
+	h.Access(0, 0x1000, false, 0)      // core 0 reads, fills L3 socket 0
+	r := h.Access(2, 0x1000, false, 0) // core 1 (same socket) reads
+	if r.Level != HitL3 {
+		t.Errorf("same-socket read should hit L3, got %v", r.Level)
+	}
+}
+
+func TestDirtyC2CSameSocket(t *testing.T) {
+	h, m := newH()
+	h.Access(0, 0x1000, true, 0) // core 0 writes: owner
+	r := h.Access(2, 0x1000, false, 0)
+	if r.Level != HitC2C || r.CrossSocket {
+		t.Fatalf("read of dirty line = %+v, want same-socket C2C", r)
+	}
+	if r.Cycles != m.Lat.C2CSameSocket {
+		t.Errorf("cycles = %d, want %d", r.Cycles, m.Lat.C2CSameSocket)
+	}
+	if h.Stats().C2CSameSocket != 1 {
+		t.Error("C2CSameSocket not counted")
+	}
+}
+
+func TestDirtyC2CCrossSocket(t *testing.T) {
+	h, m := newH()
+	h.Access(0, 0x1000, true, 0)        // core 0 (socket 0) writes
+	r := h.Access(16, 0x1000, false, 0) // ctx 16 = core 8 = socket 1
+	if r.Level != HitC2C || !r.CrossSocket || r.Cycles != m.Lat.C2CCrossSocket {
+		t.Fatalf("cross-socket read of dirty line = %+v", r)
+	}
+	if h.Stats().C2CCrossSocket != 1 {
+		t.Error("C2CCrossSocket not counted")
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	h, _ := newH()
+	h.Access(0, 0x1000, false, 0)
+	h.Access(2, 0x1000, false, 0) // two cores share the line
+	h.Access(0, 0x1000, true, 0)  // core 0 writes: invalidate core 1
+	if h.Stats().Invalidations == 0 {
+		t.Fatal("write to shared line should invalidate")
+	}
+	r := h.Access(2, 0x1000, false, 0)
+	if r.Level == HitL1 || r.Level == HitL2 {
+		t.Errorf("invalidated core should miss privately, got %v", r.Level)
+	}
+	if r.Miss != MissInvalidation {
+		t.Errorf("miss class = %v, want invalidation", r.Miss)
+	}
+	if h.Stats().InvalidationMisses != 1 {
+		t.Error("InvalidationMisses not counted")
+	}
+}
+
+func TestRFOInvalidatesOwner(t *testing.T) {
+	h, _ := newH()
+	h.Access(0, 0x1000, true, 0) // core 0 owns dirty
+	h.Access(2, 0x1000, true, 0) // core 1 writes: RFO via C2C
+	if h.Stats().Invalidations == 0 {
+		t.Error("RFO should invalidate the previous owner")
+	}
+	// Now core 1 is owner; a third core's read is a C2C from core 1.
+	r := h.Access(4, 0x1000, false, 0)
+	if r.Level != HitC2C {
+		t.Errorf("read after RFO = %v, want C2C", r.Level)
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	// Two cores alternately writing the same line: every access after the
+	// first pair should be a C2C transfer (invalidation misses).
+	h, _ := newH()
+	for i := 0; i < 10; i++ {
+		h.Access(0, 0x1000, true, 0)
+		h.Access(2, 0x1000, true, 0)
+	}
+	st := h.Stats()
+	if st.C2CSameSocket < 15 {
+		t.Errorf("ping-pong C2C = %d, want >= 15", st.C2CSameSocket)
+	}
+	if st.InvalidationMisses < 15 {
+		t.Errorf("invalidation misses = %d, want >= 15", st.InvalidationMisses)
+	}
+}
+
+func TestCapacityMissClassification(t *testing.T) {
+	h, m := newH()
+	// Touch enough distinct lines to overflow L1 and L2 of core 0 and
+	// force capacity evictions, then re-touch the first line.
+	lines := (m.L1.Size + m.L2.Size) / m.LineSize * 3
+	for i := 0; i < lines; i++ {
+		h.Access(0, uint64(i)*uint64(m.LineSize), false, 0)
+	}
+	r := h.Access(0, 0, false, 0)
+	if r.Level == HitL1 || r.Level == HitL2 {
+		t.Fatalf("line should have been evicted from private caches, got %v", r.Level)
+	}
+	if r.Miss != MissCapacity {
+		t.Errorf("miss class = %v, want capacity", r.Miss)
+	}
+	if h.Stats().CapacityMisses == 0 {
+		t.Error("CapacityMisses not counted")
+	}
+}
+
+func TestL2PromotionPath(t *testing.T) {
+	h, m := newH()
+	// Fill L1 so the first line spills into L2 but stays in the core.
+	linesL1 := m.L1.Size / m.LineSize
+	for i := 0; i <= linesL1; i++ {
+		h.Access(0, uint64(i)*uint64(m.LineSize), false, 0)
+	}
+	// Some early line is now in L2; accessing it should be an L2 hit.
+	foundL2 := false
+	for i := 0; i <= linesL1; i++ {
+		r := h.Access(0, uint64(i)*uint64(m.LineSize), false, 0)
+		if r.Level == HitL2 {
+			foundL2 = true
+			break
+		}
+	}
+	if !foundL2 {
+		t.Error("no L2 hit observed after L1 overflow")
+	}
+}
+
+func TestStatsConservation(t *testing.T) {
+	// Every access is exactly one of: L1 hit, L2 hit, or L2 miss; and every
+	// L2 miss resolves to C2C, L3 hit, or L3 miss (remote L3 / DRAM).
+	h, _ := newH()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		ctx := rng.Intn(32)
+		addr := uint64(rng.Intn(4096)) * 64
+		h.Access(ctx, addr, rng.Intn(4) == 0, rng.Intn(2))
+	}
+	s := h.Stats()
+	if s.Accesses != 20000 {
+		t.Fatalf("Accesses = %d", s.Accesses)
+	}
+	if s.L1Hits+s.L1Misses != s.Accesses {
+		t.Errorf("L1 hits+misses = %d, want %d", s.L1Hits+s.L1Misses, s.Accesses)
+	}
+	if s.L2Hits+s.L2Misses != s.L1Misses {
+		t.Errorf("L2 accounting broken: %d + %d != %d", s.L2Hits, s.L2Misses, s.L1Misses)
+	}
+	if s.ColdMisses+s.CapacityMisses+s.InvalidationMisses != s.L2Misses {
+		t.Errorf("miss classes %d+%d+%d != L2 misses %d",
+			s.ColdMisses, s.CapacityMisses, s.InvalidationMisses, s.L2Misses)
+	}
+}
+
+func TestLocalityReducesLatency(t *testing.T) {
+	// The core claim of the paper: communicating threads placed near each
+	// other pay less than threads placed across sockets.
+	run := func(producerCtx, consumerCtx int) uint64 {
+		h, _ := newH()
+		for i := 0; i < 2000; i++ {
+			addr := uint64(i%64) * 64
+			h.Access(producerCtx, addr, true, 0)
+			h.Access(consumerCtx, addr, false, 0)
+		}
+		return h.Stats().StallCycles
+	}
+	near := run(0, 1) // SMT siblings
+	mid := run(0, 2)  // same socket
+	far := run(0, 16) // cross socket
+	if !(near < mid && mid < far) {
+		t.Errorf("stall cycles not ordered: smt=%d socket=%d cross=%d", near, mid, far)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for _, l := range []Level{HitL1, HitL2, HitL3, HitC2C, HitDRAM, Level(9)} {
+		if l.String() == "" {
+			t.Errorf("empty string for level %d", int(l))
+		}
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	h, _ := newH()
+	if h.LineOf(0) != 0 || h.LineOf(63) != 0 || h.LineOf(64) != 1 {
+		t.Error("LineOf should divide by the 64-byte line size")
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	h, _ := newH()
+	if h.String() == "" {
+		t.Error("String should summarize counters")
+	}
+}
+
+func BenchmarkAccessHot(b *testing.B) {
+	h, _ := newH()
+	h.Access(0, 0x1000, false, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(0, 0x1000, false, 0)
+	}
+}
+
+func BenchmarkAccessStreaming(b *testing.B) {
+	h, _ := newH()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(i%32, uint64(i)*64, i%8 == 0, 0)
+	}
+}

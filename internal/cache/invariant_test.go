@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spcd/internal/topology"
+)
+
+// checkConsistency verifies the structural invariant between the coherence
+// directory and the cache arrays: a core holds a line in its private caches
+// if and only if the directory lists it as a sharer, a line never resides in
+// both L1 and L2 of one core (the exclusive design), and a dirty owner is
+// always a sharer.
+func (h *Hierarchy) checkConsistency() error {
+	type residency struct{ l1, l2 bool }
+	resident := make(map[uint64]map[int]*residency)
+	record := func(a *array, core int, isL1 bool) {
+		for i, valid := range a.valid {
+			if !valid {
+				continue
+			}
+			line := a.tags[i]
+			if resident[line] == nil {
+				resident[line] = make(map[int]*residency)
+			}
+			r := resident[line][core]
+			if r == nil {
+				r = &residency{}
+				resident[line][core] = r
+			}
+			if isL1 {
+				r.l1 = true
+			} else {
+				r.l2 = true
+			}
+		}
+	}
+	for c := range h.l1 {
+		record(h.l1[c], c, true)
+		record(h.l2[c], c, false)
+	}
+	// Array residency implies directory sharing (and exclusivity).
+	for line, cores := range resident {
+		e := h.dir[line]
+		for core, r := range cores {
+			if r.l1 && r.l2 {
+				return fmt.Errorf("line %#x in both L1 and L2 of core %d", line, core)
+			}
+			if e == nil || !coreHolds(e, core) {
+				return fmt.Errorf("line %#x resident in core %d but not in directory", line, core)
+			}
+		}
+	}
+	// Directory sharing implies array residency; owners are sharers.
+	for line, e := range h.dir {
+		if e.owner >= 0 && !coreHolds(e, int(e.owner)) {
+			return fmt.Errorf("line %#x owned by core %d which is not a sharer", line, e.owner)
+		}
+		for c := 0; c < h.mach.NumCores(); c++ {
+			if !coreHolds(e, c) {
+				continue
+			}
+			r := resident[line][c]
+			if r == nil {
+				return fmt.Errorf("directory says core %d holds line %#x but arrays disagree", c, line)
+			}
+		}
+	}
+	return nil
+}
+
+// TestDirectoryArrayConsistency drives random traffic through the hierarchy
+// and checks the directory/array invariant at intervals. This is the
+// correctness backbone of the coherence model: every c2c and invalidation
+// count the evaluation reports depends on it.
+func TestDirectoryArrayConsistency(t *testing.T) {
+	h := New(topology.DefaultXeon())
+	rng := rand.New(rand.NewSource(99))
+	for step := 0; step < 40; step++ {
+		for i := 0; i < 2500; i++ {
+			ctx := rng.Intn(32)
+			// Mix of hot shared lines and a wide private range to force
+			// evictions and invalidations.
+			var addr uint64
+			if rng.Float64() < 0.3 {
+				addr = uint64(rng.Intn(256)) * 64
+			} else {
+				addr = 1<<20 + uint64(rng.Intn(200_000))*64
+			}
+			h.Access(ctx, addr, rng.Intn(3) == 0, rng.Intn(2))
+		}
+		if err := h.checkConsistency(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+// TestPairCountersMatchTotals verifies that the per-pair counters, when
+// enabled, sum to the aggregate owner-transfer count.
+func TestPairCountersMatchTotals(t *testing.T) {
+	h := New(topology.DefaultXeon())
+	h.EnablePairCounters()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 30_000; i++ {
+		h.Access(rng.Intn(32), uint64(rng.Intn(512))*64, rng.Intn(2) == 0, 0)
+	}
+	pair := h.PairC2C()
+	var sum uint64
+	for _, row := range pair {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	st := h.Stats()
+	if sum > st.C2CTotal() {
+		t.Fatalf("pair counters (%d) exceed total c2c (%d)", sum, st.C2CTotal())
+	}
+	if sum == 0 {
+		t.Fatal("no pair transfers recorded under contention")
+	}
+	// Pair counters only record owner-supplied transfers (not clean
+	// remote-L3 hits), so they bound from below but must account for the
+	// majority under write-heavy sharing.
+	if sum*2 < st.C2CTotal() {
+		t.Errorf("pair counters (%d) cover under half of c2c total (%d)", sum, st.C2CTotal())
+	}
+}
+
+func TestPairCountersDisabledByDefault(t *testing.T) {
+	h := New(topology.DefaultXeon())
+	h.Access(0, 0, true, 0)
+	h.Access(2, 0, false, 0)
+	if h.PairC2C() != nil {
+		t.Error("pair counters should be nil unless enabled")
+	}
+	h.EnablePairCounters()
+	h.EnablePairCounters() // idempotent
+	if h.PairC2C() == nil {
+		t.Error("pair counters missing after enable")
+	}
+}

@@ -1,0 +1,103 @@
+// Package energy models processor and DRAM energy consumption from the
+// simulator's activity counters, substituting for the RAPL hardware
+// counters the paper reads (§V-E). Energy has a static component (power
+// integrated over execution time) and a dynamic component (energy per
+// event: instructions, cache hits at each level, coherence transfers and
+// DRAM accesses). Communication-based mapping saves energy two ways, both
+// captured here: shorter execution time shrinks the static term, and fewer
+// cross-chip transfers and DRAM accesses shrink the dynamic term — the
+// "energy per instruction" effect of Figures 14/15.
+package energy
+
+import (
+	"errors"
+
+	"spcd/internal/cache"
+	"spcd/internal/topology"
+)
+
+// Params holds the energy model coefficients.
+type Params struct {
+	// Processor static power, per socket, in watts.
+	SocketStaticWatts float64
+	// Dynamic core energy per retired instruction, nanojoules.
+	InstrNJ float64
+	// Per-event cache energies, nanojoules.
+	L1NJ float64
+	L2NJ float64
+	L3NJ float64
+	// Coherence transfer energies, nanojoules per cache-to-cache
+	// transaction (cross-socket transfers drive the off-chip links).
+	C2CSameNJ  float64
+	C2CCrossNJ float64
+	// DRAM background power in watts (all channels), and per-access
+	// energies; remote accesses traverse the interconnect as well.
+	DRAMStaticWatts float64
+	DRAMAccessNJ    float64
+	DRAMRemoteNJ    float64
+}
+
+// DefaultParams returns coefficients in the range published for Sandy
+// Bridge-class servers (Intel E5-2650, Table I): roughly 20-30 W static per
+// socket, ~1 nJ per instruction, and tens of nanojoules per DRAM access.
+func DefaultParams() Params {
+	return Params{
+		SocketStaticWatts: 24,
+		InstrNJ:           0.9,
+		L1NJ:              0.5,
+		L2NJ:              2.5,
+		L3NJ:              8,
+		C2CSameNJ:         15,
+		C2CCrossNJ:        60,
+		DRAMStaticWatts:   1.6,
+		DRAMAccessNJ:      45,
+		DRAMRemoteNJ:      75,
+	}
+}
+
+// Validate reports nonsensical coefficients.
+func (p Params) Validate() error {
+	if p.SocketStaticWatts < 0 || p.InstrNJ < 0 || p.L1NJ < 0 || p.L2NJ < 0 ||
+		p.L3NJ < 0 || p.C2CSameNJ < 0 || p.C2CCrossNJ < 0 ||
+		p.DRAMStaticWatts < 0 || p.DRAMAccessNJ < 0 || p.DRAMRemoteNJ < 0 {
+		return errors.New("energy: coefficients must be non-negative")
+	}
+	return nil
+}
+
+// Breakdown is the modeled energy of one run, the RAPL-equivalent readings.
+type Breakdown struct {
+	ProcessorJoules float64 // package energy, both sockets
+	DRAMJoules      float64 // DRAM energy
+
+	ProcPerInstrNJ float64 // processor energy per instruction
+	DRAMPerInstrNJ float64 // DRAM energy per instruction
+}
+
+const nj = 1e-9
+
+// Compute derives the energy breakdown of a run from its duration,
+// instruction count, cache activity, and the machine shape.
+func Compute(p Params, m *topology.Machine, execSeconds float64, instructions uint64, cs cache.Stats) Breakdown {
+	procStatic := p.SocketStaticWatts * float64(m.Sockets) * execSeconds
+	procDynamic := nj * (p.InstrNJ*float64(instructions) +
+		p.L1NJ*float64(cs.L1Hits) +
+		p.L2NJ*float64(cs.L2Hits) +
+		p.L3NJ*float64(cs.L3Hits) +
+		p.C2CSameNJ*float64(cs.C2CSameSocket) +
+		p.C2CCrossNJ*float64(cs.C2CCrossSocket))
+
+	dramStatic := p.DRAMStaticWatts * execSeconds
+	dramDynamic := nj * (p.DRAMAccessNJ*float64(cs.DRAMLocal) +
+		(p.DRAMAccessNJ+p.DRAMRemoteNJ)*float64(cs.DRAMRemote))
+
+	b := Breakdown{
+		ProcessorJoules: procStatic + procDynamic,
+		DRAMJoules:      dramStatic + dramDynamic,
+	}
+	if instructions > 0 {
+		b.ProcPerInstrNJ = b.ProcessorJoules / nj / float64(instructions)
+		b.DRAMPerInstrNJ = b.DRAMJoules / nj / float64(instructions)
+	}
+	return b
+}

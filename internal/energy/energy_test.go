@@ -1,0 +1,83 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"spcd/internal/cache"
+	"spcd/internal/topology"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsNegatives(t *testing.T) {
+	p := DefaultParams()
+	p.InstrNJ = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative coefficient should fail")
+	}
+}
+
+func TestStaticEnergyScalesWithTime(t *testing.T) {
+	m := topology.DefaultXeon()
+	p := DefaultParams()
+	var cs cache.Stats
+	b1 := Compute(p, m, 1.0, 0, cs)
+	b2 := Compute(p, m, 2.0, 0, cs)
+	if math.Abs(b2.ProcessorJoules-2*b1.ProcessorJoules) > 1e-9 {
+		t.Errorf("static processor energy should double: %g vs %g", b1.ProcessorJoules, b2.ProcessorJoules)
+	}
+	if math.Abs(b1.ProcessorJoules-2*24) > 1e-9 {
+		t.Errorf("2 sockets x 24 W x 1 s = 48 J, got %g", b1.ProcessorJoules)
+	}
+	if math.Abs(b1.DRAMJoules-1.6) > 1e-9 {
+		t.Errorf("DRAM static = %g, want 1.6 J", b1.DRAMJoules)
+	}
+}
+
+func TestDynamicEnergyCounts(t *testing.T) {
+	m := topology.DefaultXeon()
+	p := Params{InstrNJ: 1, L1NJ: 2, L2NJ: 3, L3NJ: 4, C2CSameNJ: 5,
+		C2CCrossNJ: 6, DRAMAccessNJ: 7, DRAMRemoteNJ: 8}
+	cs := cache.Stats{L1Hits: 10, L2Hits: 10, L3Hits: 10,
+		C2CSameSocket: 10, C2CCrossSocket: 10, DRAMLocal: 10, DRAMRemote: 10}
+	b := Compute(p, m, 0, 100, cs)
+	wantProc := 1e-9 * (100*1 + 10*2 + 10*3 + 10*4 + 10*5 + 10*6)
+	if math.Abs(b.ProcessorJoules-wantProc) > 1e-15 {
+		t.Errorf("proc = %g, want %g", b.ProcessorJoules, wantProc)
+	}
+	wantDRAM := 1e-9 * (10*7 + 10*(7+8))
+	if math.Abs(b.DRAMJoules-wantDRAM) > 1e-15 {
+		t.Errorf("dram = %g, want %g", b.DRAMJoules, wantDRAM)
+	}
+}
+
+func TestPerInstructionMetrics(t *testing.T) {
+	m := topology.DefaultXeon()
+	b := Compute(DefaultParams(), m, 1.0, 1_000_000_000, cache.Stats{})
+	// 48 J over 1e9 instructions = 48 nJ/instr (plus dynamic instr term).
+	if b.ProcPerInstrNJ < 48 || b.ProcPerInstrNJ > 50 {
+		t.Errorf("ProcPerInstrNJ = %g, want ~48.9", b.ProcPerInstrNJ)
+	}
+	z := Compute(DefaultParams(), m, 1.0, 0, cache.Stats{})
+	if z.ProcPerInstrNJ != 0 || z.DRAMPerInstrNJ != 0 {
+		t.Error("zero instructions should yield zero per-instruction energy")
+	}
+}
+
+func TestCrossSocketTrafficCostsMore(t *testing.T) {
+	m := topology.DefaultXeon()
+	p := DefaultParams()
+	local := Compute(p, m, 1, 1000, cache.Stats{C2CSameSocket: 1000, DRAMLocal: 1000})
+	remote := Compute(p, m, 1, 1000, cache.Stats{C2CCrossSocket: 1000, DRAMRemote: 1000})
+	if remote.ProcessorJoules <= local.ProcessorJoules {
+		t.Error("cross-socket transfers should cost more processor energy")
+	}
+	if remote.DRAMJoules <= local.DRAMJoules {
+		t.Error("remote DRAM accesses should cost more DRAM energy")
+	}
+}

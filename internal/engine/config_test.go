@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"testing"
+
+	"spcd/internal/energy"
+	"spcd/internal/topology"
+	"spcd/internal/workloads"
+)
+
+func TestBatchSizeDoesNotChangeWork(t *testing.T) {
+	w := testWorkload(t, 4)
+	mach := topology.DefaultXeon()
+	run := func(batch int) Metrics {
+		m, err := Run(Config{Machine: mach, Workload: w, Policy: &pinned{},
+			Seed: 3, BatchAccesses: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	small := run(8)
+	large := run(512)
+	// Same accesses and instructions regardless of slicing.
+	if small.Cache.Accesses != large.Cache.Accesses {
+		t.Errorf("accesses differ: %d vs %d", small.Cache.Accesses, large.Cache.Accesses)
+	}
+	if small.Instructions != large.Instructions {
+		t.Errorf("instructions differ: %d vs %d", small.Instructions, large.Instructions)
+	}
+	// Timing may differ slightly (interleaving), but not wildly.
+	ratio := float64(small.ExecCycles) / float64(large.ExecCycles)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("batch size changed exec time by %.2fx", ratio)
+	}
+}
+
+func TestTickIntervalControlsPolicyCadence(t *testing.T) {
+	w := testWorkload(t, 4)
+	mach := topology.DefaultXeon()
+	coarse := &pinned{}
+	if _, err := Run(Config{Machine: mach, Workload: w, Policy: coarse,
+		Seed: 1, TickIntervalCycles: 1 << 62}); err != nil {
+		t.Fatal(err)
+	}
+	if coarse.ticks != 0 {
+		t.Errorf("huge tick interval still ticked %d times", coarse.ticks)
+	}
+	fine := &pinned{}
+	if _, err := Run(Config{Machine: mach, Workload: w, Policy: fine,
+		Seed: 1, TickIntervalCycles: 10_000}); err != nil {
+		t.Fatal(err)
+	}
+	if fine.ticks < 10 {
+		t.Errorf("fine tick interval ticked only %d times", fine.ticks)
+	}
+}
+
+func TestFewerThreadsThanContexts(t *testing.T) {
+	w, err := workloads.NewNPB("CG", 3, workloads.ClassTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(Config{Machine: topology.DefaultXeon(), Workload: w,
+		Policy: &pinned{aff: []int{5, 17, 30}}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExecSeconds <= 0 {
+		t.Error("run produced no time")
+	}
+}
+
+func TestSingleThreadWorkload(t *testing.T) {
+	w, err := workloads.NewNPB("EP", 1, workloads.ClassTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(Config{Machine: topology.DefaultXeon(), Workload: w,
+		Policy: &pinned{aff: []int{0}}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cache.C2CTotal() != 0 {
+		t.Errorf("single thread produced %d cache-to-cache transfers", m.Cache.C2CTotal())
+	}
+}
+
+func TestEnergyParamsValidated(t *testing.T) {
+	w := testWorkload(t, 4)
+	bad := energyParamsWithNegative()
+	if _, err := Run(Config{Machine: topology.DefaultXeon(), Workload: w,
+		Policy: &pinned{}, EnergyParams: &bad}); err == nil {
+		t.Error("negative energy params should fail validation")
+	}
+}
+
+func energyParamsWithNegative() energy.Params {
+	p := energy.DefaultParams()
+	p.InstrNJ = -1
+	return p
+}

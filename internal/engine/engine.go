@@ -1,0 +1,360 @@
+// Package engine executes a parallel workload on the simulated machine: it
+// drives each thread's access stream through the MMU (internal/vm) and the
+// coherent cache hierarchy (internal/cache), runs the active mapping policy
+// (which may observe page faults and migrate threads), and collects the
+// metrics the paper's evaluation reports (execution time, MPKI,
+// cache-to-cache transactions, energy, overheads).
+//
+// The execution model is virtual-time round-robin: every thread owns a
+// cycle clock advanced by the latency of its own accesses, and the engine
+// always advances the thread whose clock is lowest (a min-heap). This keeps
+// thread clocks tightly interleaved — like the barrier-synchronized OpenMP
+// kernels being modeled — while letting badly-placed threads fall behind
+// and finish later, which is exactly how placement quality becomes
+// execution time.
+package engine
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"spcd/internal/cache"
+	"spcd/internal/commmatrix"
+	"spcd/internal/energy"
+	"spcd/internal/topology"
+	"spcd/internal/vm"
+	"spcd/internal/workloads"
+)
+
+// Env gives a policy access to the simulation objects it may hook into.
+type Env struct {
+	Machine    *topology.Machine
+	AS         *vm.AddressSpace
+	Caches     *cache.Hierarchy
+	Workload   workloads.Workload
+	Seed       int64
+	NumThreads int
+}
+
+// Overheads is the modeled cost a policy imposed on the run, split the way
+// Figure 16 reports it.
+type Overheads struct {
+	DetectionCycles uint64 // fault-handler work + sampler kernel thread
+	MappingCycles   uint64 // communication filter + mapping algorithm
+}
+
+// Policy decides thread placement. One Policy instance drives one run.
+type Policy interface {
+	// Name identifies the policy in reports ("os", "random", "oracle",
+	// "spcd").
+	Name() string
+	// Init is called once before the run with the simulation environment.
+	Init(env *Env) error
+	// InitialAffinity returns the starting thread -> context placement.
+	InitialAffinity() []int
+	// Tick is called periodically with the current simulated time. A
+	// non-nil return migrates threads to the returned affinity.
+	Tick(now uint64) []int
+	// Overheads returns the modeled cost accounting for the run so far.
+	Overheads() Overheads
+	// FinalMatrix returns the communication matrix the policy detected,
+	// or nil if it does not detect communication.
+	FinalMatrix() *commmatrix.Matrix
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Machine  *topology.Machine
+	Workload workloads.Workload
+	Policy   Policy
+	Seed     int64
+
+	// BatchAccesses is how many accesses a thread retires per scheduling
+	// slice; smaller values interleave threads more finely.
+	BatchAccesses int
+	// TickIntervalCycles is how often the policy's Tick runs.
+	TickIntervalCycles uint64
+	// MigrationCostCycles is charged to every migrated thread (kernel
+	// work, context transfer); cache refill costs emerge naturally.
+	MigrationCostCycles uint64
+	// EnergyParams drives the energy model; zero value selects defaults.
+	EnergyParams *energy.Params
+	// AllocPolicy selects the NUMA page-homing policy (numactl-style);
+	// the zero value is first-touch, the paper's setting.
+	AllocPolicy vm.AllocPolicy
+}
+
+// normalize fills in defaults and validates.
+func (c *Config) normalize() error {
+	if c.Machine == nil {
+		return errors.New("engine: Machine is required")
+	}
+	if c.Workload == nil {
+		return errors.New("engine: Workload is required")
+	}
+	if c.Policy == nil {
+		return errors.New("engine: Policy is required")
+	}
+	if c.Workload.NumThreads() > c.Machine.NumContexts() {
+		return fmt.Errorf("engine: %d threads exceed %d hardware contexts",
+			c.Workload.NumThreads(), c.Machine.NumContexts())
+	}
+	if c.BatchAccesses <= 0 {
+		c.BatchAccesses = 48
+	}
+	if c.TickIntervalCycles == 0 {
+		// Scale the tick to the workload's nominal duration so policy
+		// periods (which are themselves scaled, see internal/policy)
+		// get enough tick resolution regardless of run length.
+		c.TickIntervalCycles = workloads.NominalCycles(c.Workload) / 512
+		if c.TickIntervalCycles == 0 {
+			c.TickIntervalCycles = 1
+		}
+	}
+	if c.MigrationCostCycles == 0 {
+		// Direct kernel cost of moving one thread (~2.5 us). The dominant
+		// real cost of a migration — refilling caches on the new core —
+		// emerges naturally from the cache simulator.
+		c.MigrationCostCycles = 5_000
+	}
+	if c.EnergyParams == nil {
+		p := energy.DefaultParams()
+		c.EnergyParams = &p
+	}
+	return c.EnergyParams.Validate()
+}
+
+// Metrics is the outcome of one run: the simulated equivalents of the
+// paper's PAPI / VTune / RAPL measurements.
+type Metrics struct {
+	Policy   string
+	Workload string
+	Seed     int64
+
+	ExecSeconds  float64
+	ExecCycles   uint64
+	Instructions uint64
+
+	L2MPKI float64
+	L3MPKI float64
+
+	Cache cache.Stats
+	VM    vm.Stats
+
+	Energy energy.Breakdown
+
+	// Migrations counts remapping events (Ticks that moved at least one
+	// thread); MigratedThreads counts individual thread moves.
+	Migrations      int
+	MigratedThreads int
+
+	DetectionOverheadPct float64
+	MappingOverheadPct   float64
+
+	// CommMatrix is the communication pattern the policy detected (nil
+	// for policies without detection).
+	CommMatrix *commmatrix.Matrix
+}
+
+// String renders a one-line summary.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%s/%s: %.4fs, L2 %.2f MPKI, L3 %.2f MPKI, c2c %d, proc %.2f J, dram %.3f J, migrations %d",
+		m.Workload, m.Policy, m.ExecSeconds, m.L2MPKI, m.L3MPKI,
+		m.Cache.C2CTotal(), m.Energy.ProcessorJoules, m.Energy.DRAMJoules, m.Migrations)
+}
+
+// threadState is one application thread.
+type threadState struct {
+	id    int
+	clock uint64
+	done  bool
+}
+
+// clockHeap orders runnable threads by their cycle clock.
+type clockHeap []*threadState
+
+func (h clockHeap) Len() int            { return len(h) }
+func (h clockHeap) Less(i, j int) bool  { return h[i].clock < h[j].clock }
+func (h clockHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *clockHeap) Push(x interface{}) { *h = append(*h, x.(*threadState)) }
+func (h *clockHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run executes one simulation and returns its metrics.
+func Run(cfg Config) (Metrics, error) {
+	if err := cfg.normalize(); err != nil {
+		return Metrics{}, err
+	}
+	mach := cfg.Machine
+	n := cfg.Workload.NumThreads()
+
+	as := vm.NewAddressSpace(mach)
+	as.SetAllocPolicy(cfg.AllocPolicy)
+	caches := cache.New(mach)
+	run := cfg.Workload.NewRun(cfg.Seed)
+
+	env := &Env{Machine: mach, AS: as, Caches: caches, Workload: cfg.Workload, Seed: cfg.Seed, NumThreads: n}
+	if err := cfg.Policy.Init(env); err != nil {
+		return Metrics{}, err
+	}
+	affinity := append([]int(nil), cfg.Policy.InitialAffinity()...)
+	if err := checkAffinity(affinity, n, mach.NumContexts()); err != nil {
+		return Metrics{}, err
+	}
+
+	threads := make([]*threadState, n)
+	h := make(clockHeap, 0, n)
+	for t := 0; t < n; t++ {
+		threads[t] = &threadState{id: t}
+		h = append(h, threads[t])
+	}
+	heap.Init(&h)
+
+	buf := make([]workloads.Access, cfg.BatchAccesses)
+	compute := uint64(cfg.Workload.ComputeCyclesPerAccess())
+	var instructions uint64
+	var execCycles uint64
+	migrations, movedThreads := 0, 0
+	nextTick := cfg.TickIntervalCycles
+
+	// Serial initialization phase: the master thread (thread 0) touches
+	// the data set, homing pages by first touch, before the parallel
+	// threads start (implicit barrier).
+	pageShift := as.PageShift()
+	pageMask := uint64(mach.PageSize - 1)
+	if init, ok := run.(workloads.Initializer); ok {
+		clock := uint64(0)
+		ibuf := make([]workloads.InitAccess, cfg.BatchAccesses)
+		for {
+			k := init.NextInit(ibuf)
+			if k == 0 {
+				break
+			}
+			for _, a := range ibuf[:k] {
+				ctx := affinity[a.Thread%n]
+				tr := as.Access(a.Thread%n, ctx, a.Addr, a.Write, clock)
+				phys := uint64(tr.Frame)<<pageShift | (a.Addr & pageMask)
+				res := caches.Access(ctx, phys, a.Write, tr.Node)
+				clock += compute + uint64(tr.Cycles) + uint64(res.Cycles)
+			}
+			instructions += uint64(k) * (1 + compute)
+		}
+		for _, th := range threads {
+			th.clock = clock
+		}
+	}
+
+	for h.Len() > 0 {
+		th := h[0]
+		now := th.clock
+		if now > execCycles {
+			execCycles = now
+		}
+
+		// Policy tick (sampler wakeups, matrix evaluation, migrations).
+		if now >= nextTick {
+			for now >= nextTick {
+				if newAff := cfg.Policy.Tick(nextTick); newAff != nil {
+					if err := checkAffinity(newAff, n, mach.NumContexts()); err != nil {
+						return Metrics{}, fmt.Errorf("engine: policy %s: %w", cfg.Policy.Name(), err)
+					}
+					moved := 0
+					for t := 0; t < n; t++ {
+						if newAff[t] != affinity[t] {
+							moved++
+							threads[t].clock += cfg.MigrationCostCycles
+						}
+					}
+					if moved > 0 {
+						migrations++
+						movedThreads += moved
+					}
+					copy(affinity, newAff)
+				}
+				nextTick += cfg.TickIntervalCycles
+			}
+			heap.Init(&h) // clocks may have changed
+			th = h[0]
+		}
+
+		k := run.Next(th.id, buf)
+		if k == 0 {
+			th.done = true
+			heap.Pop(&h)
+			continue
+		}
+		ctx := affinity[th.id]
+		clock := th.clock
+		for _, a := range buf[:k] {
+			tr := as.Access(th.id, ctx, a.Addr, a.Write, clock)
+			// Caches are physically indexed: densely allocated frames
+			// avoid the set aliasing a sparse virtual layout would cause.
+			phys := uint64(tr.Frame)<<pageShift | (a.Addr & pageMask)
+			res := caches.Access(ctx, phys, a.Write, tr.Node)
+			clock += compute + uint64(tr.Cycles) + uint64(res.Cycles)
+		}
+		instructions += uint64(k) * (1 + compute)
+		th.clock = clock
+		heap.Fix(&h, 0)
+	}
+
+	for _, th := range threads {
+		if th.clock > execCycles {
+			execCycles = th.clock
+		}
+	}
+
+	m := Metrics{
+		Policy:          cfg.Policy.Name(),
+		Workload:        cfg.Workload.Name(),
+		Seed:            cfg.Seed,
+		ExecCycles:      execCycles,
+		ExecSeconds:     mach.CyclesToSeconds(execCycles),
+		Instructions:    instructions,
+		Cache:           caches.Stats(),
+		VM:              as.Stats(),
+		Migrations:      migrations,
+		MigratedThreads: movedThreads,
+		CommMatrix:      cfg.Policy.FinalMatrix(),
+	}
+	if instructions > 0 {
+		m.L2MPKI = float64(m.Cache.L2Misses) / float64(instructions) * 1000
+		m.L3MPKI = float64(m.Cache.L3Misses) / float64(instructions) * 1000
+	}
+	m.Energy = energy.Compute(*cfg.EnergyParams, mach, m.ExecSeconds, instructions, m.Cache)
+
+	ov := cfg.Policy.Overheads()
+	// Induced page faults stall the application directly; their cost is
+	// part of the detection overhead (§V-F), together with the modeled
+	// handler and sampler work.
+	inducedCycles := m.VM.InducedFaults * uint64(as.Costs().InducedFault)
+	totalCPU := float64(execCycles) * float64(n)
+	if totalCPU > 0 {
+		m.DetectionOverheadPct = 100 * float64(ov.DetectionCycles+inducedCycles) / totalCPU
+		m.MappingOverheadPct = 100 * float64(ov.MappingCycles) / totalCPU
+	}
+	return m, nil
+}
+
+func checkAffinity(aff []int, n, contexts int) error {
+	if len(aff) != n {
+		return fmt.Errorf("affinity covers %d threads, want %d", len(aff), n)
+	}
+	seen := make(map[int]bool, n)
+	for t, ctx := range aff {
+		if ctx < 0 || ctx >= contexts {
+			return fmt.Errorf("thread %d mapped to invalid context %d", t, ctx)
+		}
+		if seen[ctx] {
+			return fmt.Errorf("context %d assigned to two threads", ctx)
+		}
+		seen[ctx] = true
+	}
+	return nil
+}

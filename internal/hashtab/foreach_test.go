@@ -1,0 +1,60 @@
+package hashtab
+
+import "testing"
+
+func TestSharerCounts(t *testing.T) {
+	tab := New(64)
+	tab.Touch(0x1000, 0, 1)
+	tab.Touch(0x1000, 0, 2)
+	tab.Touch(0x1000, 0, 3)
+	tab.Touch(0x1000, 1, 4)
+	e := tab.Lookup(0x1000)
+	if e == nil {
+		t.Fatal("entry missing")
+	}
+	if got := e.Sharer(0).Count; got != 3 {
+		t.Errorf("thread 0 count = %d, want 3", got)
+	}
+	if got := e.Sharer(1).Count; got != 1 {
+		t.Errorf("thread 1 count = %d, want 1", got)
+	}
+}
+
+func TestCountResetsOnEviction(t *testing.T) {
+	tab := New(1)
+	tab.Touch(0x1000, 0, 1)
+	tab.Touch(0x1000, 0, 2)
+	tab.Touch(0x2000, 1, 3) // collision: overwrites
+	e := tab.Lookup(0x2000)
+	if e.Sharer(1).Count != 1 {
+		t.Errorf("count after eviction = %d, want 1", e.Sharer(1).Count)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	tab := New(256)
+	for i := uint64(0); i < 20; i++ {
+		tab.Touch(i*4096, int(i%4), i)
+	}
+	seen := map[uint64]bool{}
+	tab.ForEach(func(e *Entry) {
+		if seen[e.Region] {
+			t.Errorf("region %#x visited twice", e.Region)
+		}
+		seen[e.Region] = true
+		if len(e.Sharers) == 0 {
+			t.Errorf("region %#x has no sharers", e.Region)
+		}
+	})
+	if len(seen) != tab.Len() {
+		t.Errorf("ForEach visited %d entries, Len says %d", len(seen), tab.Len())
+	}
+}
+
+func TestForEachEmptyTable(t *testing.T) {
+	calls := 0
+	New(16).ForEach(func(*Entry) { calls++ })
+	if calls != 0 {
+		t.Errorf("empty table produced %d calls", calls)
+	}
+}

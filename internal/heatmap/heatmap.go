@@ -1,0 +1,125 @@
+// Package heatmap renders communication matrices in the style of the
+// paper's Figures 6 and 7: a grid with thread IDs on both axes in which
+// darker cells indicate a higher amount of communication. Two backends are
+// provided: an ASCII shade renderer for terminals and logs, and a binary
+// PGM (portable graymap) writer for figure-quality output that any image
+// viewer or converter understands.
+package heatmap
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"spcd/internal/commmatrix"
+)
+
+// shades orders ASCII glyphs from light (no communication) to dark.
+var shades = []byte(" .:-=+*#%@")
+
+// ASCII renders the matrix as a square character grid. Cell values are
+// normalized to the matrix maximum, so the darkest glyph marks the busiest
+// pair. The first row and column are thread-ID rulers every four threads.
+func ASCII(m *commmatrix.Matrix) string {
+	n := m.N()
+	norm := m.Normalized()
+	var sb strings.Builder
+	sb.WriteString("    ")
+	for j := 0; j < n; j++ {
+		if j%4 == 0 {
+			fmt.Fprintf(&sb, "%-4d", j)
+		}
+	}
+	sb.WriteByte('\n')
+	for i := 0; i < n; i++ {
+		if i%4 == 0 {
+			fmt.Fprintf(&sb, "%3d ", i)
+		} else {
+			sb.WriteString("    ")
+		}
+		for j := 0; j < n; j++ {
+			sb.WriteByte(glyph(norm.At(i, j)))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func glyph(v float64) byte {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	idx := int(v*float64(len(shades)-1) + 0.5)
+	return shades[idx]
+}
+
+// WritePGM writes the matrix as a binary 8-bit PGM image, one pixel per
+// cell, scale pixels per cell if scale > 1. Dark pixels (low values) mark
+// high communication, matching the paper's rendering.
+func WritePGM(w io.Writer, m *commmatrix.Matrix, scale int) error {
+	if scale < 1 {
+		scale = 1
+	}
+	n := m.N()
+	if n == 0 {
+		return fmt.Errorf("heatmap: empty matrix")
+	}
+	norm := m.Normalized()
+	side := n * scale
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", side, side); err != nil {
+		return err
+	}
+	row := make([]byte, side)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// 255 = white = no communication; 0 = black = maximum.
+			pix := byte(255 - int(norm.At(i, j)*255))
+			for s := 0; s < scale; s++ {
+				row[j*scale+s] = pix
+			}
+		}
+		for s := 0; s < scale; s++ {
+			if _, err := w.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SideBySide renders several labeled matrices next to each other, used for
+// the multi-phase producer/consumer figure.
+func SideBySide(labels []string, ms []*commmatrix.Matrix) string {
+	if len(labels) != len(ms) {
+		panic("heatmap: labels and matrices must have equal length")
+	}
+	blocks := make([][]string, len(ms))
+	height := 0
+	for i, m := range ms {
+		blocks[i] = strings.Split(strings.TrimRight(ASCII(m), "\n"), "\n")
+		if len(blocks[i]) > height {
+			height = len(blocks[i])
+		}
+	}
+	var sb strings.Builder
+	for i, label := range labels {
+		width := len(blocks[i][0])
+		fmt.Fprintf(&sb, "%-*s  ", width, label)
+	}
+	sb.WriteByte('\n')
+	for line := 0; line < height; line++ {
+		for i := range blocks {
+			width := len(blocks[i][0])
+			cell := ""
+			if line < len(blocks[i]) {
+				cell = blocks[i][line]
+			}
+			fmt.Fprintf(&sb, "%-*s  ", width, cell)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,132 @@
+package heatmap
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"spcd/internal/commmatrix"
+)
+
+func sample() *commmatrix.Matrix {
+	m := commmatrix.New(8)
+	for i := 0; i < 8; i += 2 {
+		m.Add(i, i+1, float64(10*(i+1)))
+	}
+	return m
+}
+
+func TestASCIIShape(t *testing.T) {
+	out := ASCII(sample())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 9 { // header + 8 rows
+		t.Fatalf("got %d lines, want 9:\n%s", len(lines), out)
+	}
+	for i, l := range lines[1:] {
+		if len(l) != 4+8 {
+			t.Errorf("row %d width = %d, want 12: %q", i, len(l), l)
+		}
+	}
+}
+
+func TestASCIIDarkestIsBusiestPair(t *testing.T) {
+	out := ASCII(sample())
+	// Pair (6,7) has the most communication and must be rendered with the
+	// darkest glyph '@'.
+	if !strings.Contains(out, "@") {
+		t.Fatalf("no dark glyph in output:\n%s", out)
+	}
+	rows := strings.Split(strings.TrimRight(out, "\n"), "\n")[1:]
+	if rows[6][4+7] != '@' {
+		t.Errorf("cell (6,7) = %q, want '@'", rows[6][4+7])
+	}
+	if rows[0][4+0] != ' ' {
+		t.Errorf("diagonal cell should be blank, got %q", rows[0][4+0])
+	}
+}
+
+func TestGlyphBounds(t *testing.T) {
+	if glyph(-1) != ' ' || glyph(0) != ' ' {
+		t.Error("minimum shade should be blank")
+	}
+	if glyph(1) != '@' || glyph(2) != '@' {
+		t.Error("maximum shade should be '@'")
+	}
+}
+
+func TestWritePGMHeaderAndSize(t *testing.T) {
+	var buf bytes.Buffer
+	m := sample()
+	if err := WritePGM(&buf, m, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("P5\n%d %d\n255\n", 16, 16)
+	if !strings.HasPrefix(buf.String(), want) {
+		t.Fatalf("header = %q", buf.String()[:20])
+	}
+	if got := buf.Len() - len(want); got != 16*16 {
+		t.Errorf("pixel payload = %d bytes, want 256", got)
+	}
+}
+
+func TestWritePGMValues(t *testing.T) {
+	var buf bytes.Buffer
+	m := commmatrix.New(2)
+	m.Add(0, 1, 5)
+	if err := WritePGM(&buf, m, 1); err != nil {
+		t.Fatal(err)
+	}
+	payload := buf.Bytes()[bytes.LastIndexByte(buf.Bytes(), '\n')+1:]
+	if len(payload) != 4 {
+		t.Fatalf("payload = %d bytes", len(payload))
+	}
+	// Diagonal is white (255), the communicating pair black (0).
+	if payload[0] != 255 || payload[3] != 255 {
+		t.Errorf("diagonal pixels = %d, %d; want 255", payload[0], payload[3])
+	}
+	if payload[1] != 0 || payload[2] != 0 {
+		t.Errorf("pair pixels = %d, %d; want 0", payload[1], payload[2])
+	}
+}
+
+func TestWritePGMEmptyMatrix(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, commmatrix.New(0), 1); err == nil {
+		t.Error("expected error for empty matrix")
+	}
+}
+
+func TestWritePGMClampScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, sample(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P5\n8 8\n") {
+		t.Errorf("scale 0 should clamp to 1: %q", buf.String()[:10])
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	a := commmatrix.New(4)
+	a.Add(0, 1, 1)
+	b := commmatrix.New(4)
+	b.Add(2, 3, 1)
+	out := SideBySide([]string{"phase 1", "phase 2"}, []*commmatrix.Matrix{a, b})
+	if !strings.Contains(out, "phase 1") || !strings.Contains(out, "phase 2") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+5 { // label row + header + 4 matrix rows
+		t.Errorf("got %d lines, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestSideBySidePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched labels should panic")
+		}
+	}()
+	SideBySide([]string{"only"}, nil)
+}

@@ -1,0 +1,102 @@
+package heatmap
+
+import (
+	"fmt"
+	"io"
+
+	"spcd/internal/commmatrix"
+)
+
+// SVGOptions controls the vector rendering.
+type SVGOptions struct {
+	CellPx  int    // pixels per matrix cell (default 12)
+	Title   string // optional title above the matrix
+	AxisGap int    // tick label every AxisGap threads (default 4)
+}
+
+// WriteSVG renders the matrix as a standalone SVG figure in the style of
+// the paper's Figures 6 and 7: a grid with thread IDs on both axes where
+// darker cells indicate more communication. SVG scales losslessly, which
+// makes it the right format for publication figures; WritePGM remains for
+// raw raster output.
+func WriteSVG(w io.Writer, m *commmatrix.Matrix, opts SVGOptions) error {
+	n := m.N()
+	if n == 0 {
+		return fmt.Errorf("heatmap: empty matrix")
+	}
+	if opts.CellPx <= 0 {
+		opts.CellPx = 12
+	}
+	if opts.AxisGap <= 0 {
+		opts.AxisGap = 4
+	}
+	const margin = 28
+	titlePad := 0
+	if opts.Title != "" {
+		titlePad = 20
+	}
+	side := n * opts.CellPx
+	width := side + margin + 4
+	height := side + margin + titlePad + 4
+
+	norm := m.Normalized()
+	var err error
+	pr := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pr(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	pr(`<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if opts.Title != "" {
+		pr(`<text x="%d" y="14" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			margin, xmlEscape(opts.Title))
+	}
+	ox, oy := margin, margin+titlePad
+	// Cells: skip zero cells (the white background shows through).
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := norm.At(i, j)
+			if v <= 0 {
+				continue
+			}
+			shade := int(255 - v*255)
+			pr(`<rect x="%d" y="%d" width="%d" height="%d" fill="rgb(%d,%d,%d)"/>`+"\n",
+				ox+j*opts.CellPx, oy+i*opts.CellPx, opts.CellPx, opts.CellPx,
+				shade, shade, shade)
+		}
+	}
+	// Frame and axis ticks.
+	pr(`<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="black" stroke-width="1"/>`+"\n",
+		ox, oy, side, side)
+	for t := 0; t < n; t += opts.AxisGap {
+		cx := ox + t*opts.CellPx + opts.CellPx/2
+		cy := oy + t*opts.CellPx + opts.CellPx/2
+		pr(`<text x="%d" y="%d" font-family="sans-serif" font-size="9" text-anchor="middle">%d</text>`+"\n",
+			cx, oy-4, t)
+		pr(`<text x="%d" y="%d" font-family="sans-serif" font-size="9" text-anchor="end">%d</text>`+"\n",
+			ox-4, cy+3, t)
+	}
+	pr("</svg>\n")
+	return err
+}
+
+func xmlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

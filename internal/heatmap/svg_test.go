@@ -1,0 +1,70 @@
+package heatmap
+
+import (
+	"strings"
+	"testing"
+
+	"spcd/internal/commmatrix"
+)
+
+func TestWriteSVGBasics(t *testing.T) {
+	m := commmatrix.New(8)
+	m.Add(0, 1, 10)
+	m.Add(6, 7, 5)
+	var sb strings.Builder
+	if err := WriteSVG(&sb, m, SVGOptions{Title: "SP <test> & more"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	// Title is escaped.
+	if strings.Contains(out, "<test>") {
+		t.Error("title not XML-escaped")
+	}
+	if !strings.Contains(out, "SP &lt;test&gt; &amp; more") {
+		t.Error("escaped title missing")
+	}
+	// The (0,1) cell is the maximum: rendered black.
+	if !strings.Contains(out, `fill="rgb(0,0,0)"`) {
+		t.Error("maximum cell should be black")
+	}
+	// The (6,7) cell is half intensity: a mid gray appears.
+	if !strings.Contains(out, `fill="rgb(127,127,127)"`) &&
+		!strings.Contains(out, `fill="rgb(128,128,128)"`) {
+		t.Error("half-intensity cell missing")
+	}
+	// Axis labels.
+	if !strings.Contains(out, ">4</text>") {
+		t.Error("axis tick for thread 4 missing")
+	}
+}
+
+func TestWriteSVGSymmetricCellCount(t *testing.T) {
+	m := commmatrix.New(4)
+	m.Add(1, 2, 3)
+	var sb strings.Builder
+	if err := WriteSVG(&sb, m, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly two shaded cells: (1,2) and (2,1). Count rects minus
+	// background and frame.
+	cells := strings.Count(sb.String(), "<rect") - 2
+	if cells != 2 {
+		t.Errorf("shaded cells = %d, want 2", cells)
+	}
+}
+
+func TestWriteSVGEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSVG(&sb, commmatrix.New(0), SVGOptions{}); err == nil {
+		t.Error("empty matrix should error")
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Errorf("xmlEscape = %q", got)
+	}
+}

@@ -1,0 +1,170 @@
+package mapping
+
+import "spcd/internal/topology"
+
+// Align permutes a freshly computed affinity within its cost-equivalence
+// class so that it moves as few threads as possible relative to the current
+// placement. Three symmetries leave the communication cost unchanged:
+// which physical socket hosts which thread group, which core of a socket
+// hosts which thread pair, and the SMT slot order within a core. The
+// hierarchical matcher breaks these ties arbitrarily, so two evaluations of
+// near-identical matrices can produce placements that differ on every
+// thread; aligning suppresses that churn without giving up any quality.
+func Align(newAff, cur []int, mach *topology.Machine) []int {
+	n := len(newAff)
+	if n != len(cur) || n == 0 {
+		return newAff
+	}
+
+	// Decompose the proposal: threads per core, cores per socket.
+	coreThreads := make(map[int][]int) // proposed core -> threads
+	socketCores := make(map[int][]int) // proposed socket -> proposed cores
+	for t, ctx := range newAff {
+		c := mach.CoreOf(ctx)
+		if len(coreThreads[c]) == 0 {
+			s := mach.SocketOf(ctx)
+			socketCores[s] = append(socketCores[s], c)
+		}
+		coreThreads[c] = append(coreThreads[c], t)
+	}
+
+	// 1. Assign proposed socket-groups to physical sockets, greedily
+	// maximizing the number of threads already on that socket.
+	type group struct {
+		cores   []int
+		threads []int
+	}
+	var groups []group
+	for _, cores := range socketCores {
+		g := group{cores: cores}
+		for _, c := range cores {
+			g.threads = append(g.threads, coreThreads[c]...)
+		}
+		groups = append(groups, g)
+	}
+	socketTaken := make([]bool, mach.Sockets)
+	groupSocket := make([]int, len(groups))
+	for i := range groupSocket {
+		groupSocket[i] = -1
+	}
+	for range groups {
+		bestG, bestS, bestOverlap := -1, -1, -1
+		for gi, g := range groups {
+			if groupSocket[gi] >= 0 {
+				continue
+			}
+			for s := 0; s < mach.Sockets; s++ {
+				if socketTaken[s] {
+					continue
+				}
+				overlap := 0
+				for _, t := range g.threads {
+					if mach.SocketOf(cur[t]) == s {
+						overlap++
+					}
+				}
+				if overlap > bestOverlap {
+					bestG, bestS, bestOverlap = gi, s, overlap
+				}
+			}
+		}
+		if bestG < 0 {
+			break // more groups than sockets: give up on alignment
+		}
+		groupSocket[bestG] = bestS
+		socketTaken[bestS] = true
+	}
+
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for gi, g := range groups {
+		s := groupSocket[gi]
+		if s < 0 {
+			return newAff
+		}
+		// 2. Assign the group's thread-pairs to the socket's physical
+		// cores, greedily maximizing threads already on that core.
+		physCores := make([]int, mach.CoresPerSocket)
+		coreTaken := make([]bool, mach.CoresPerSocket)
+		for i := range physCores {
+			physCores[i] = s*mach.CoresPerSocket + i
+		}
+		assigned := make(map[int]int) // proposed core -> physical core
+		for range g.cores {
+			bestC, bestP, bestOverlap := -1, -1, -1
+			for _, pc := range g.cores {
+				if _, done := assigned[pc]; done {
+					continue
+				}
+				for pi, phys := range physCores {
+					if coreTaken[pi] {
+						continue
+					}
+					overlap := 0
+					for _, t := range coreThreads[pc] {
+						if mach.CoreOf(cur[t]) == phys {
+							overlap++
+						}
+					}
+					if overlap > bestOverlap {
+						bestC, bestP, bestOverlap = pc, pi, overlap
+					}
+				}
+			}
+			if bestC < 0 {
+				return newAff
+			}
+			assigned[bestC] = physCores[bestP]
+			coreTaken[bestP] = true
+		}
+		// 3. Lay threads onto SMT slots, keeping current slots when the
+		// thread is already on that core.
+		for pc, phys := range assigned {
+			threads := coreThreads[pc]
+			slots := make([]int, 0, mach.ThreadsPerCore)
+			for k := 0; k < mach.ThreadsPerCore; k++ {
+				slots = append(slots, phys*mach.ThreadsPerCore+k)
+			}
+			used := make(map[int]bool)
+			// First pass: threads already on this core keep their slot.
+			pending := threads[:0:0]
+			for _, t := range threads {
+				if mach.CoreOf(cur[t]) == phys && !used[cur[t]] {
+					out[t] = cur[t]
+					used[cur[t]] = true
+				} else {
+					pending = append(pending, t)
+				}
+			}
+			// Second pass: fill remaining slots in order.
+			for _, t := range pending {
+				for _, ctx := range slots {
+					if !used[ctx] {
+						out[t] = ctx
+						used[ctx] = true
+						break
+					}
+				}
+			}
+		}
+	}
+	for _, ctx := range out {
+		if ctx < 0 {
+			return newAff // alignment failed; fall back to the proposal
+		}
+	}
+	return out
+}
+
+// Moves counts threads whose context differs between two affinities.
+func Moves(a, b []int) int {
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,208 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"spcd/internal/commmatrix"
+	"spcd/internal/topology"
+)
+
+func TestAlignIdenticalMappingNoMoves(t *testing.T) {
+	mach := topology.DefaultXeon()
+	cur := Scatterlike(mach)
+	got := Align(append([]int(nil), cur...), cur, mach)
+	if Moves(got, cur) != 0 {
+		t.Errorf("aligning a mapping with itself moved %d threads", Moves(got, cur))
+	}
+}
+
+// Scatterlike builds a full valid affinity for tests.
+func Scatterlike(m *topology.Machine) []int {
+	aff := make([]int, m.NumContexts())
+	for i := range aff {
+		aff[i] = i
+	}
+	return aff
+}
+
+func TestAlignRemovesSymmetricChurn(t *testing.T) {
+	mach := topology.DefaultXeon()
+	cur := Scatterlike(mach)
+	// Proposal: same pairs per core, but sockets swapped and cores
+	// permuted — cost-equivalent to cur, so alignment should restore it.
+	prop := make([]int, len(cur))
+	for th, ctx := range cur {
+		sock := mach.SocketOf(ctx)
+		core := mach.CoreOf(ctx) % mach.CoresPerSocket
+		slot := mach.SMTSlotOf(ctx)
+		// Swap sockets, rotate cores, flip SMT slots.
+		newSock := 1 - sock
+		newCore := (core + 3) % mach.CoresPerSocket
+		newSlot := 1 - slot
+		prop[th] = mach.ContextOf(newSock, newCore, newSlot)
+	}
+	got := Align(prop, cur, mach)
+	if n := Moves(got, cur); n != 0 {
+		t.Errorf("symmetric churn not removed: %d moves", n)
+	}
+}
+
+func TestAlignPreservesStructure(t *testing.T) {
+	// Alignment may relabel contexts but must keep the same threads
+	// sharing cores and sockets (that is what determines cost).
+	mach := topology.DefaultXeon()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		cur := rng.Perm(32)
+		prop := rng.Perm(32)
+		got := Align(prop, cur, mach)
+
+		if len(got) != 32 {
+			t.Fatalf("aligned affinity has %d entries", len(got))
+		}
+		seen := map[int]bool{}
+		for _, ctx := range got {
+			if ctx < 0 || ctx >= 32 || seen[ctx] {
+				t.Fatalf("invalid aligned affinity %v", got)
+			}
+			seen[ctx] = true
+		}
+		// Core-mates must be identical under prop and got.
+		mates := func(aff []int) map[int]int {
+			byCore := map[int][]int{}
+			for th, ctx := range aff {
+				byCore[mach.CoreOf(ctx)] = append(byCore[mach.CoreOf(ctx)], th)
+			}
+			mate := map[int]int{}
+			for _, ths := range byCore {
+				if len(ths) == 2 {
+					mate[ths[0]] = ths[1]
+					mate[ths[1]] = ths[0]
+				}
+			}
+			return mate
+		}
+		mp, mg := mates(prop), mates(got)
+		for th, m := range mp {
+			if mg[th] != m {
+				t.Fatalf("trial %d: core-mate of %d changed from %d to %d", trial, th, m, mg[th])
+			}
+		}
+		// Socket groups must be identical as sets.
+		groupOf := func(aff []int, th int) int { return mach.SocketOf(aff[th]) }
+		// Build the partition by socket for prop; got must induce the same
+		// partition (possibly with socket labels swapped).
+		propGroups := [2]map[int]bool{{}, {}}
+		gotGroups := [2]map[int]bool{{}, {}}
+		for th := 0; th < 32; th++ {
+			propGroups[groupOf(prop, th)][th] = true
+			gotGroups[groupOf(got, th)][th] = true
+		}
+		same := equalSets(propGroups[0], gotGroups[0]) && equalSets(propGroups[1], gotGroups[1])
+		swapped := equalSets(propGroups[0], gotGroups[1]) && equalSets(propGroups[1], gotGroups[0])
+		if !same && !swapped {
+			t.Fatalf("trial %d: socket partition changed", trial)
+		}
+	}
+}
+
+func equalSets(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAlignNeverIncreasesCost(t *testing.T) {
+	mach := topology.DefaultXeon()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		m := commmatrix.New(32)
+		for i := 0; i < 32; i++ {
+			for j := i + 1; j < 32; j++ {
+				if rng.Float64() < 0.2 {
+					m.Add(i, j, float64(rng.Intn(100)))
+				}
+			}
+		}
+		cur := rng.Perm(32)
+		prop := rng.Perm(32)
+		got := Align(prop, cur, mach)
+		propCost := Cost(m, mach, prop)
+		gotCost := Cost(m, mach, got)
+		if gotCost > propCost*1.0000001 {
+			t.Fatalf("trial %d: alignment changed cost %.6g -> %.6g", trial, propCost, gotCost)
+		}
+	}
+}
+
+func TestAlignReducesMoves(t *testing.T) {
+	mach := topology.DefaultXeon()
+	rng := rand.New(rand.NewSource(3))
+	better := 0
+	for trial := 0; trial < 30; trial++ {
+		cur := rng.Perm(32)
+		prop := rng.Perm(32)
+		got := Align(prop, cur, mach)
+		if Moves(got, cur) <= Moves(prop, cur) {
+			better++
+		}
+	}
+	if better < 25 {
+		t.Errorf("alignment reduced moves in only %d/30 trials", better)
+	}
+}
+
+func TestAlignDegenerateInputs(t *testing.T) {
+	mach := topology.DefaultXeon()
+	if got := Align(nil, nil, mach); got != nil {
+		t.Error("empty affinities should pass through")
+	}
+	a := []int{0, 1}
+	if got := Align(a, []int{0}, mach); &got[0] != &a[0] {
+		t.Error("length mismatch should return the proposal unchanged")
+	}
+}
+
+func TestMoves(t *testing.T) {
+	if Moves([]int{1, 2, 3}, []int{1, 5, 3}) != 1 {
+		t.Error("Moves should count differing entries")
+	}
+	if Moves(nil, nil) != 0 {
+		t.Error("Moves of empty affinities should be 0")
+	}
+}
+
+func TestAlignPartialOccupancy(t *testing.T) {
+	// Fewer threads than contexts: alignment must still produce a valid
+	// placement with the same structure.
+	mach := topology.DefaultXeon()
+	m := commmatrix.New(8)
+	for i := 0; i < 8; i += 2 {
+		m.Add(i, i+1, 10)
+	}
+	prop, err := Compute(m, mach, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	got := Align(prop, cur, mach)
+	seen := map[int]bool{}
+	for _, ctx := range got {
+		if ctx < 0 || ctx >= 32 || seen[ctx] {
+			t.Fatalf("invalid aligned affinity %v", got)
+		}
+		seen[ctx] = true
+	}
+	for i := 0; i < 8; i += 2 {
+		if mach.CoreOf(got[i]) != mach.CoreOf(got[i+1]) {
+			t.Errorf("pair (%d,%d) split across cores after alignment", i, i+1)
+		}
+	}
+}

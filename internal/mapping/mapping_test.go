@@ -1,0 +1,334 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"spcd/internal/commmatrix"
+	"spcd/internal/topology"
+)
+
+// pairMatrix builds a matrix where thread 2k communicates with 2k+1.
+func pairMatrix(n int, amount float64) *commmatrix.Matrix {
+	m := commmatrix.New(n)
+	for i := 0; i+1 < n; i += 2 {
+		m.Add(i, i+1, amount)
+	}
+	return m
+}
+
+func TestFilterFirstEvaluationTriggers(t *testing.T) {
+	f, err := NewFilter(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Changed(commmatrix.New(4)) {
+		t.Error("empty matrix should not trigger")
+	}
+	if !f.Changed(pairMatrix(4, 10)) {
+		t.Error("first non-empty evaluation should trigger")
+	}
+	if f.Triggers() != 1 || f.Evaluations() != 2 {
+		t.Errorf("triggers=%d evaluations=%d", f.Triggers(), f.Evaluations())
+	}
+}
+
+func TestFilterStablePatternDoesNotRetrigger(t *testing.T) {
+	f, _ := NewFilter(4, 2)
+	m := pairMatrix(4, 10)
+	f.Changed(m)
+	for i := 0; i < 5; i++ {
+		m.Add(0, 1, 1) // same pattern, growing volume
+		if f.Changed(m) {
+			t.Fatal("unchanged partners must not trigger")
+		}
+	}
+}
+
+func TestFilterDetectsPartnerSwap(t *testing.T) {
+	f, _ := NewFilter(4, 2)
+	m := pairMatrix(4, 10)
+	f.Changed(m)
+	// Threads 1 and 2 start communicating heavily: partners of 1 and 2
+	// change -> threshold 2 reached.
+	m.Add(1, 2, 100)
+	if !f.Changed(m) {
+		t.Error("two changed partners should trigger")
+	}
+}
+
+func TestFilterBelowThreshold(t *testing.T) {
+	// Threshold 3: a swap changing only two partners must not trigger.
+	f, _ := NewFilter(6, 3)
+	m := pairMatrix(6, 10)
+	f.Changed(m)
+	m.Add(1, 2, 100)
+	if f.Changed(m) {
+		t.Error("two changes below threshold 3 should not trigger")
+	}
+}
+
+func TestFilterCumulativeDrift(t *testing.T) {
+	// Partners drift one at a time; reference is only updated on trigger,
+	// so the second drift crosses the threshold.
+	f, _ := NewFilter(8, 2)
+	m := pairMatrix(8, 10)
+	f.Changed(m)
+	m.Add(0, 2, 100) // partner of 0 and 2 change... (2 changes, triggers)
+	if !f.Changed(m) {
+		t.Fatal("expected trigger")
+	}
+	m2 := pairMatrix(8, 10)
+	f2, _ := NewFilter(8, 2)
+	f2.Changed(m2)
+	m2.Add(4, 6, 100)
+	m2.Add(4, 6, -0) // no-op
+	if !f2.Changed(m2) {
+		t.Fatal("expected trigger on pair swap")
+	}
+}
+
+func TestFilterValidation(t *testing.T) {
+	if _, err := NewFilter(0, 2); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := NewFilter(4, 0); err == nil {
+		t.Error("threshold=0 should error")
+	}
+	f, _ := NewFilter(4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch should panic")
+		}
+	}()
+	f.Changed(commmatrix.New(8))
+}
+
+func TestComputePairsLandOnSMTSiblings(t *testing.T) {
+	mach := topology.DefaultXeon()
+	m := pairMatrix(32, 100)
+	aff, err := Compute(m, mach, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidAffinity(t, mach, aff)
+	for i := 0; i+1 < 32; i += 2 {
+		if mach.Distance(aff[i], aff[i+1]) != topology.LevelSMT {
+			t.Errorf("pair (%d,%d) mapped to contexts %d,%d (distance %v), want SMT",
+				i, i+1, aff[i], aff[i+1], mach.Distance(aff[i], aff[i+1]))
+		}
+	}
+}
+
+func TestComputeGroupsLandOnSameSocket(t *testing.T) {
+	// Two 16-thread cliques: each must end up on its own socket.
+	mach := topology.DefaultXeon()
+	m := commmatrix.New(32)
+	for i := 0; i < 16; i++ {
+		for j := i + 1; j < 16; j++ {
+			m.Add(i, j, 50)
+			m.Add(i+16, j+16, 50)
+		}
+	}
+	aff, err := Compute(m, mach, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidAffinity(t, mach, aff)
+	for i := 1; i < 16; i++ {
+		if mach.SocketOf(aff[i]) != mach.SocketOf(aff[0]) {
+			t.Errorf("thread %d on socket %d, thread 0 on socket %d",
+				i, mach.SocketOf(aff[i]), mach.SocketOf(aff[0]))
+		}
+		if mach.SocketOf(aff[i+16]) != mach.SocketOf(aff[16]) {
+			t.Errorf("clique 2 split across sockets")
+		}
+	}
+	if mach.SocketOf(aff[0]) == mach.SocketOf(aff[16]) {
+		t.Error("the two cliques should occupy different sockets")
+	}
+}
+
+func checkValidAffinity(t *testing.T, mach *topology.Machine, aff []int) {
+	t.Helper()
+	seen := map[int]bool{}
+	for th, ctx := range aff {
+		if ctx < 0 || ctx >= mach.NumContexts() {
+			t.Fatalf("thread %d mapped to invalid context %d", th, ctx)
+		}
+		if seen[ctx] {
+			t.Fatalf("context %d assigned twice", ctx)
+		}
+		seen[ctx] = true
+	}
+}
+
+func TestComputeBeatsRandomMappings(t *testing.T) {
+	mach := topology.DefaultXeon()
+	rng := rand.New(rand.NewSource(9))
+	// A structured heterogeneous pattern: neighbours communicate.
+	m := commmatrix.New(32)
+	for i := 0; i < 32; i++ {
+		m.Add(i, (i+1)%32, 100)
+		m.Add(i, (i+2)%32, 25)
+	}
+	aff, err := Compute(m, mach, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours := Cost(m, mach, aff)
+	for trial := 0; trial < 50; trial++ {
+		perm := rng.Perm(32)
+		random := Cost(m, mach, perm)
+		if ours > random {
+			t.Errorf("trial %d: computed cost %.0f worse than random %.0f", trial, ours, random)
+		}
+	}
+}
+
+func TestComputeFewerThreadsThanContexts(t *testing.T) {
+	mach := topology.DefaultXeon()
+	m := pairMatrix(8, 10)
+	aff, err := Compute(m, mach, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aff) != 8 {
+		t.Fatalf("affinity length = %d", len(aff))
+	}
+	checkValidAffinity(t, mach, aff)
+	for i := 0; i+1 < 8; i += 2 {
+		if mach.Distance(aff[i], aff[i+1]) != topology.LevelSMT {
+			t.Errorf("pair (%d,%d) not on SMT siblings", i, i+1)
+		}
+	}
+}
+
+func TestComputeTooManyThreads(t *testing.T) {
+	mach := topology.DefaultXeon()
+	if _, err := Compute(commmatrix.New(64), mach, nil); err == nil {
+		t.Error("expected error for more threads than contexts")
+	}
+}
+
+func TestComputeRejectsNonPow2Topology(t *testing.T) {
+	mach, err := topology.New(2, 3, 2) // 6 contexts per socket: not pow2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compute(commmatrix.New(4), mach, nil); err == nil {
+		t.Error("expected error for non-power-of-two topology")
+	}
+}
+
+func TestComputeZeroMatrixStillValid(t *testing.T) {
+	mach := topology.DefaultXeon()
+	aff, err := Compute(commmatrix.New(32), mach, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidAffinity(t, mach, aff)
+}
+
+func TestComputeWithGreedyMatcher(t *testing.T) {
+	mach := topology.DefaultXeon()
+	m := pairMatrix(32, 100)
+	aff, err := Compute(m, mach, Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidAffinity(t, mach, aff)
+	for i := 0; i+1 < 32; i += 2 {
+		if mach.Distance(aff[i], aff[i+1]) != topology.LevelSMT {
+			t.Errorf("greedy: pair (%d,%d) not on SMT siblings", i, i+1)
+		}
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	mach := topology.DefaultXeon()
+	m := commmatrix.New(2)
+	m.Add(0, 1, 100)
+	near := Cost(m, mach, []int{0, 1}) // SMT siblings
+	mid := Cost(m, mach, []int{0, 2})  // same socket
+	far := Cost(m, mach, []int{0, 16}) // cross socket
+	if !(near < mid && mid < far) {
+		t.Errorf("cost not ordered: %g %g %g", near, mid, far)
+	}
+}
+
+func TestCostPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Cost(commmatrix.New(4), topology.DefaultXeon(), []int{0})
+}
+
+func TestMapperEvaluateFlow(t *testing.T) {
+	mach := topology.DefaultXeon()
+	mp, err := NewMapper(mach, 32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty matrix: no mapping.
+	aff, err := mp.Evaluate(commmatrix.New(32))
+	if err != nil || aff != nil {
+		t.Fatalf("empty evaluate = %v, %v", aff, err)
+	}
+	if mp.MappingCycles() == 0 {
+		t.Error("filter cost should accrue even without a trigger")
+	}
+	before := mp.MappingCycles()
+	m := pairMatrix(32, 10)
+	aff, err = mp.Evaluate(m)
+	if err != nil || aff == nil {
+		t.Fatalf("evaluate = %v, %v", aff, err)
+	}
+	if mp.Computations() != 1 {
+		t.Errorf("computations = %d", mp.Computations())
+	}
+	if mp.MappingCycles() <= before {
+		t.Error("algorithm cost should accrue on trigger")
+	}
+	// Same pattern again: filter suppresses.
+	aff, err = mp.Evaluate(m)
+	if err != nil || aff != nil {
+		t.Errorf("stable pattern should not remap, got %v", aff)
+	}
+}
+
+func TestMapperCostModelOverride(t *testing.T) {
+	mp, _ := NewMapper(topology.DefaultXeon(), 4, nil)
+	mp.SetCostModel(CostModel{FilterCyclesPerCell: 1, MatchCyclesPerOp: 0})
+	mp.Evaluate(commmatrix.New(4))
+	if mp.MappingCycles() != 16 {
+		t.Errorf("MappingCycles = %d, want 16", mp.MappingCycles())
+	}
+	if mp.Filter() == nil {
+		t.Error("Filter accessor returned nil")
+	}
+}
+
+func TestEdgesFromMatrixScaling(t *testing.T) {
+	m := commmatrix.New(3)
+	m.Add(0, 1, 1e-9)
+	m.Add(1, 2, 2e-9)
+	edges := edgesFromMatrix(m)
+	var w01, w12 int64
+	for _, e := range edges {
+		if e.I == 0 && e.J == 1 {
+			w01 = e.Weight
+		}
+		if e.I == 1 && e.J == 2 {
+			w12 = e.Weight
+		}
+	}
+	if w12 != weightScale {
+		t.Errorf("max cell should scale to %d, got %d", weightScale, w12)
+	}
+	if w01 == 0 {
+		t.Error("tiny amounts must not round to zero relative to the max")
+	}
+}

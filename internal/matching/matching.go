@@ -1,0 +1,848 @@
+// Package matching implements maximum-weight matching on general graphs
+// using Edmonds' blossom algorithm, which the paper's mapping mechanism uses
+// to pair threads by communication volume (§IV-B). The implementation
+// follows the well-known O(n^3) formulation by Galil ("Efficient algorithms
+// for finding maximum matching in graphs", 1986) in the concrete shape of
+// van Rantwijk's reference implementation, adapted to Go.
+//
+// A greedy matcher is provided as an ablation baseline, and an exhaustive
+// matcher as a correctness reference for tests.
+package matching
+
+import "fmt"
+
+// Edge is an undirected weighted edge between vertices I and J.
+type Edge struct {
+	I, J   int
+	Weight int64
+}
+
+// Pairs converts a mate array (as returned by MaxWeightMatching) into a list
+// of matched pairs with I < J. Unmatched vertices are omitted.
+func Pairs(mate []int) [][2]int {
+	var out [][2]int
+	for v, w := range mate {
+		if w > v {
+			out = append(out, [2]int{v, w})
+		}
+	}
+	return out
+}
+
+// MatchingWeight sums the weight of the matched edges given a mate array and
+// a weight oracle.
+func MatchingWeight(mate []int, weight func(i, j int) int64) int64 {
+	var sum int64
+	for v, w := range mate {
+		if w > v {
+			sum += weight(v, w)
+		}
+	}
+	return sum
+}
+
+// MaxWeightMatching computes a maximum-weight matching on the graph with n
+// vertices and the given edges. If maxCardinality is true, only matchings of
+// maximum cardinality are considered (for complete graphs with even n this
+// forces a perfect matching, which is what thread mapping needs).
+//
+// The result is a mate array: mate[v] is the vertex matched to v, or -1.
+// Edges with negative weight are never matched unless maxCardinality forces
+// them. Self-loops and vertices outside [0, n) panic.
+func MaxWeightMatching(n int, edges []Edge, maxCardinality bool) []int {
+	if n == 0 {
+		return nil
+	}
+	g := newSolver(n, edges, maxCardinality)
+	g.solve()
+	return g.result()
+}
+
+// MaxWeightMatchingVerified solves like MaxWeightMatching and additionally
+// checks the solver's complementary-slackness certificate, returning an
+// error if the duals do not prove optimality. Use it in tests or when a
+// caller wants a proof rather than trust.
+func MaxWeightMatchingVerified(n int, edges []Edge, maxCardinality bool) ([]int, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	g := newSolver(n, edges, maxCardinality)
+	g.solve()
+	if err := g.verifyOptimum(); err != nil {
+		return nil, fmt.Errorf("matching: optimality certificate failed: %w", err)
+	}
+	return g.result(), nil
+}
+
+// solver carries the blossom algorithm state. Vertex indices are 0..n-1;
+// blossom indices are n..2n-1. An "endpoint" p encodes a directed view of
+// edge p/2: endpoint p is edges[p/2].J if p is odd, else edges[p/2].I.
+type solver struct {
+	n       int
+	edges   []Edge
+	maxCard bool
+
+	// weights doubled so that all dual variables remain integral.
+	w2 []int64
+
+	endpoint  []int   // endpoint[p]: vertex at endpoint p
+	neighbend [][]int // neighbend[v]: remote endpoints of edges incident to v
+
+	mate     []int // mate[v]: remote endpoint of matched edge, or -1
+	label    []int // 0 free, 1 S, 2 T, 5 marked during scan (per vertex/blossom)
+	labelend []int // endpoint through which the label was assigned, or -1
+
+	inblossom        []int   // top-level blossom containing each vertex
+	blossomparent    []int   // parent blossom, or -1
+	blossomchilds    [][]int // ordered sub-blossoms
+	blossombase      []int   // base vertex, or -1
+	blossomendps     [][]int // endpoints connecting consecutive children
+	bestedge         []int   // least-slack edge to a different S-blossom
+	blossombestedges [][]int // per S-blossom: least-slack edges to other S-blossoms
+	unusedblossoms   []int   // free blossom indices
+
+	dualvar   []int64 // dual variables (doubled scale)
+	allowedge []bool  // edge has zero slack and may be used
+	queue     []int   // S-vertices with unprocessed edges
+}
+
+func newSolver(n int, edges []Edge, maxCard bool) *solver {
+	s := &solver{n: n, edges: edges, maxCard: maxCard}
+	var maxw int64
+	s.w2 = make([]int64, len(edges))
+	for k, e := range edges {
+		if e.I == e.J || e.I < 0 || e.I >= n || e.J < 0 || e.J >= n {
+			panic("matching: invalid edge")
+		}
+		s.w2[k] = 2 * e.Weight
+		if e.Weight > maxw {
+			maxw = e.Weight
+		}
+	}
+	s.endpoint = make([]int, 2*len(edges))
+	s.neighbend = make([][]int, n)
+	for k, e := range edges {
+		s.endpoint[2*k] = e.I
+		s.endpoint[2*k+1] = e.J
+		s.neighbend[e.I] = append(s.neighbend[e.I], 2*k+1)
+		s.neighbend[e.J] = append(s.neighbend[e.J], 2*k)
+	}
+	s.mate = make([]int, n)
+	s.label = make([]int, 2*n)
+	s.labelend = make([]int, 2*n)
+	s.inblossom = make([]int, n)
+	s.blossomparent = make([]int, 2*n)
+	s.blossomchilds = make([][]int, 2*n)
+	s.blossombase = make([]int, 2*n)
+	s.blossomendps = make([][]int, 2*n)
+	s.bestedge = make([]int, 2*n)
+	s.blossombestedges = make([][]int, 2*n)
+	s.dualvar = make([]int64, 2*n)
+	s.allowedge = make([]bool, len(edges))
+	for v := 0; v < n; v++ {
+		s.mate[v] = -1
+		s.inblossom[v] = v
+		s.blossombase[v] = v
+	}
+	for b := 0; b < 2*n; b++ {
+		s.blossomparent[b] = -1
+		s.labelend[b] = -1
+		s.bestedge[b] = -1
+		if b >= n {
+			s.blossombase[b] = -1
+			s.unusedblossoms = append(s.unusedblossoms, b)
+		}
+	}
+	for v := 0; v < n; v++ {
+		s.dualvar[v] = 2 * maxw
+	}
+	return s
+}
+
+// slack returns the (doubled) slack of edge k: pi_i + pi_j - 2*w_k.
+func (s *solver) slack(k int) int64 {
+	e := s.edges[k]
+	return s.dualvar[e.I] + s.dualvar[e.J] - 2*s.w2[k]
+}
+
+// blossomLeaves appends all vertices inside blossom b to out.
+func (s *solver) blossomLeaves(b int, out []int) []int {
+	if b < s.n {
+		return append(out, b)
+	}
+	for _, t := range s.blossomchilds[b] {
+		out = s.blossomLeaves(t, out)
+	}
+	return out
+}
+
+// assignLabel labels the top-level blossom of w with label t, reached
+// through endpoint p.
+func (s *solver) assignLabel(w, t, p int) {
+	b := s.inblossom[w]
+	s.label[w] = t
+	s.label[b] = t
+	s.labelend[w] = p
+	s.labelend[b] = p
+	s.bestedge[w] = -1
+	s.bestedge[b] = -1
+	if t == 1 {
+		s.queue = s.blossomLeaves(b, s.queue)
+	} else if t == 2 {
+		base := s.blossombase[b]
+		s.assignLabel(s.endpoint[s.mate[base]], 1, s.mate[base]^1)
+	}
+}
+
+// scanBlossom traces back from v and w to find the lowest common ancestor of
+// their alternating trees, returning its base vertex, or -1 if the paths
+// lead to different trees (i.e. an augmenting path was found).
+func (s *solver) scanBlossom(v, w int) int {
+	var path []int
+	base := -1
+	for v != -1 || w != -1 {
+		b := s.inblossom[v]
+		if s.label[b]&4 != 0 {
+			base = s.blossombase[b]
+			break
+		}
+		path = append(path, b)
+		s.label[b] = 5
+		if s.labelend[b] == -1 {
+			v = -1
+		} else {
+			v = s.endpoint[s.labelend[b]]
+			b = s.inblossom[v]
+			v = s.endpoint[s.labelend[b]]
+		}
+		if w != -1 {
+			v, w = w, v
+		}
+	}
+	for _, b := range path {
+		s.label[b] = 1
+	}
+	return base
+}
+
+// addBlossom constructs a new blossom with the given base, through edge k
+// between two S-vertices.
+func (s *solver) addBlossom(base, k int) {
+	v, w := s.edges[k].I, s.edges[k].J
+	bb := s.inblossom[base]
+	bv := s.inblossom[v]
+	bw := s.inblossom[w]
+	b := s.unusedblossoms[len(s.unusedblossoms)-1]
+	s.unusedblossoms = s.unusedblossoms[:len(s.unusedblossoms)-1]
+	s.blossombase[b] = base
+	s.blossomparent[b] = -1
+	s.blossomparent[bb] = b
+	var path, endps []int
+	for bv != bb {
+		s.blossomparent[bv] = b
+		path = append(path, bv)
+		endps = append(endps, s.labelend[bv])
+		v = s.endpoint[s.labelend[bv]]
+		bv = s.inblossom[v]
+	}
+	path = append(path, bb)
+	reverseInts(path)
+	reverseInts(endps)
+	endps = append(endps, 2*k)
+	for bw != bb {
+		s.blossomparent[bw] = b
+		path = append(path, bw)
+		endps = append(endps, s.labelend[bw]^1)
+		w = s.endpoint[s.labelend[bw]]
+		bw = s.inblossom[w]
+	}
+	s.blossomchilds[b] = path
+	s.blossomendps[b] = endps
+	s.label[b] = 1
+	s.labelend[b] = s.labelend[bb]
+	s.dualvar[b] = 0
+	for _, leaf := range s.blossomLeaves(b, nil) {
+		if s.label[s.inblossom[leaf]] == 2 {
+			s.queue = append(s.queue, leaf)
+		}
+		s.inblossom[leaf] = b
+	}
+	// Compute the blossom's best edges to each other top-level S-blossom.
+	bestedgeto := make([]int, 2*s.n)
+	for i := range bestedgeto {
+		bestedgeto[i] = -1
+	}
+	for _, bv := range path {
+		var nblists [][]int
+		if s.blossombestedges[bv] == nil {
+			for _, leaf := range s.blossomLeaves(bv, nil) {
+				var ks []int
+				for _, p := range s.neighbend[leaf] {
+					ks = append(ks, p/2)
+				}
+				nblists = append(nblists, ks)
+			}
+		} else {
+			nblists = [][]int{s.blossombestedges[bv]}
+		}
+		for _, nblist := range nblists {
+			for _, ek := range nblist {
+				i, j := s.edges[ek].I, s.edges[ek].J
+				if s.inblossom[j] == b {
+					i, j = j, i
+				}
+				_ = i
+				bj := s.inblossom[j]
+				if bj != b && s.label[bj] == 1 &&
+					(bestedgeto[bj] == -1 || s.slack(ek) < s.slack(bestedgeto[bj])) {
+					bestedgeto[bj] = ek
+				}
+			}
+		}
+		s.blossombestedges[bv] = nil
+		s.bestedge[bv] = -1
+	}
+	s.blossombestedges[b] = nil
+	for _, ek := range bestedgeto {
+		if ek != -1 {
+			s.blossombestedges[b] = append(s.blossombestedges[b], ek)
+		}
+	}
+	s.bestedge[b] = -1
+	for _, ek := range s.blossombestedges[b] {
+		if s.bestedge[b] == -1 || s.slack(ek) < s.slack(s.bestedge[b]) {
+			s.bestedge[b] = ek
+		}
+	}
+}
+
+// expandBlossom undoes blossom b, either at the end of a stage (endstage)
+// or because its dual variable dropped to zero during a stage.
+func (s *solver) expandBlossom(b int, endstage bool) {
+	for _, child := range s.blossomchilds[b] {
+		s.blossomparent[child] = -1
+		if child < s.n {
+			s.inblossom[child] = child
+		} else if endstage && s.dualvar[child] == 0 {
+			s.expandBlossom(child, endstage)
+		} else {
+			for _, leaf := range s.blossomLeaves(child, nil) {
+				s.inblossom[leaf] = child
+			}
+		}
+	}
+	if !endstage && s.label[b] == 2 {
+		// The expanding blossom is a T-blossom mid-stage: relabel the
+		// sub-blossoms along the path from the entry child to the base.
+		entrychild := s.inblossom[s.endpoint[s.labelend[b]^1]]
+		j := indexOf(s.blossomchilds[b], entrychild)
+		var jstep, endptrick int
+		if j&1 != 0 {
+			j -= len(s.blossomchilds[b])
+			jstep = 1
+			endptrick = 0
+		} else {
+			jstep = -1
+			endptrick = 1
+		}
+		p := s.labelend[b]
+		for j != 0 {
+			s.label[s.endpoint[p^1]] = 0
+			s.label[s.endpoint[at(s.blossomendps[b], j-endptrick)^endptrick^1]] = 0
+			s.assignLabel(s.endpoint[p^1], 2, p)
+			s.allowedge[at(s.blossomendps[b], j-endptrick)/2] = true
+			j += jstep
+			p = at(s.blossomendps[b], j-endptrick) ^ endptrick
+			s.allowedge[p/2] = true
+			j += jstep
+		}
+		bv := at(s.blossomchilds[b], j)
+		s.label[s.endpoint[p^1]] = 2
+		s.label[bv] = 2
+		s.labelend[s.endpoint[p^1]] = p
+		s.labelend[bv] = p
+		s.bestedge[bv] = -1
+		j += jstep
+		for at(s.blossomchilds[b], j) != entrychild {
+			bv = at(s.blossomchilds[b], j)
+			if s.label[bv] == 1 {
+				j += jstep
+				continue
+			}
+			var vfound int = -1
+			for _, leaf := range s.blossomLeaves(bv, nil) {
+				if s.label[leaf] != 0 {
+					vfound = leaf
+					break
+				}
+			}
+			if vfound != -1 {
+				s.label[vfound] = 0
+				s.label[s.endpoint[s.mate[s.blossombase[bv]]]] = 0
+				s.assignLabel(vfound, 2, s.labelend[vfound])
+			}
+			j += jstep
+		}
+	}
+	s.label[b] = -1
+	s.labelend[b] = -1
+	s.blossomchilds[b] = nil
+	s.blossomendps[b] = nil
+	s.blossombase[b] = -1
+	s.blossombestedges[b] = nil
+	s.bestedge[b] = -1
+	s.unusedblossoms = append(s.unusedblossoms, b)
+}
+
+// augmentBlossom swaps matched and unmatched edges inside blossom b so that
+// vertex v becomes the new base.
+func (s *solver) augmentBlossom(b, v int) {
+	t := v
+	for s.blossomparent[t] != b {
+		t = s.blossomparent[t]
+	}
+	if t >= s.n {
+		s.augmentBlossom(t, v)
+	}
+	i := indexOf(s.blossomchilds[b], t)
+	j := i
+	var jstep, endptrick int
+	if i&1 != 0 {
+		j -= len(s.blossomchilds[b])
+		jstep = 1
+		endptrick = 0
+	} else {
+		jstep = -1
+		endptrick = 1
+	}
+	for j != 0 {
+		j += jstep
+		t = at(s.blossomchilds[b], j)
+		p := at(s.blossomendps[b], j-endptrick) ^ endptrick
+		if t >= s.n {
+			s.augmentBlossom(t, s.endpoint[p])
+		}
+		j += jstep
+		t = at(s.blossomchilds[b], j)
+		if t >= s.n {
+			s.augmentBlossom(t, s.endpoint[p^1])
+		}
+		s.mate[s.endpoint[p]] = p ^ 1
+		s.mate[s.endpoint[p^1]] = p
+	}
+	s.blossomchilds[b] = rotate(s.blossomchilds[b], i)
+	s.blossomendps[b] = rotate(s.blossomendps[b], i)
+	s.blossombase[b] = s.blossombase[s.blossomchilds[b][0]]
+}
+
+// augmentMatching augments the matching along the path through edge k.
+func (s *solver) augmentMatching(k int) {
+	for _, sp := range [2][2]int{{s.edges[k].I, 2*k + 1}, {s.edges[k].J, 2 * k}} {
+		v, p := sp[0], sp[1]
+		for {
+			bs := s.inblossom[v]
+			if bs >= s.n {
+				s.augmentBlossom(bs, v)
+			}
+			s.mate[v] = p
+			if s.labelend[bs] == -1 {
+				break
+			}
+			t := s.endpoint[s.labelend[bs]]
+			bt := s.inblossom[t]
+			v = s.endpoint[s.labelend[bt]]
+			j := s.endpoint[s.labelend[bt]^1]
+			if bt >= s.n {
+				s.augmentBlossom(bt, j)
+			}
+			s.mate[j] = s.labelend[bt]
+			p = s.labelend[bt] ^ 1
+		}
+	}
+}
+
+func (s *solver) solve() {
+	n := s.n
+	for stage := 0; stage < n; stage++ {
+		for i := range s.label {
+			s.label[i] = 0
+		}
+		for i := range s.bestedge {
+			s.bestedge[i] = -1
+		}
+		for i := n; i < 2*n; i++ {
+			s.blossombestedges[i] = nil
+		}
+		for i := range s.allowedge {
+			s.allowedge[i] = false
+		}
+		s.queue = s.queue[:0]
+		for v := 0; v < n; v++ {
+			if s.mate[v] == -1 && s.label[s.inblossom[v]] == 0 {
+				s.assignLabel(v, 1, -1)
+			}
+		}
+		augmented := false
+		for {
+			for len(s.queue) > 0 && !augmented {
+				v := s.queue[len(s.queue)-1]
+				s.queue = s.queue[:len(s.queue)-1]
+				for _, p := range s.neighbend[v] {
+					k := p / 2
+					w := s.endpoint[p]
+					if s.inblossom[v] == s.inblossom[w] {
+						continue
+					}
+					var kslack int64
+					if !s.allowedge[k] {
+						kslack = s.slack(k)
+						if kslack <= 0 {
+							s.allowedge[k] = true
+						}
+					}
+					if s.allowedge[k] {
+						switch {
+						case s.label[s.inblossom[w]] == 0:
+							s.assignLabel(w, 2, p^1)
+						case s.label[s.inblossom[w]] == 1:
+							base := s.scanBlossom(v, w)
+							if base >= 0 {
+								s.addBlossom(base, k)
+							} else {
+								s.augmentMatching(k)
+								augmented = true
+							}
+						case s.label[w] == 0:
+							s.label[w] = 2
+							s.labelend[w] = p ^ 1
+						}
+					} else if s.label[s.inblossom[w]] == 1 {
+						b := s.inblossom[v]
+						if s.bestedge[b] == -1 || kslack < s.slack(s.bestedge[b]) {
+							s.bestedge[b] = k
+						}
+					} else if s.label[w] == 0 {
+						if s.bestedge[w] == -1 || kslack < s.slack(s.bestedge[w]) {
+							s.bestedge[w] = k
+						}
+					}
+					if augmented {
+						break
+					}
+				}
+			}
+			if augmented {
+				break
+			}
+			// No augmenting path found; adjust dual variables.
+			deltatype := -1
+			var delta int64
+			deltaedge, deltablossom := -1, -1
+			if !s.maxCard {
+				deltatype = 1
+				delta = s.dualvar[0]
+				for v := 1; v < n; v++ {
+					if s.dualvar[v] < delta {
+						delta = s.dualvar[v]
+					}
+				}
+			}
+			for v := 0; v < n; v++ {
+				if s.label[s.inblossom[v]] == 0 && s.bestedge[v] != -1 {
+					d := s.slack(s.bestedge[v])
+					if deltatype == -1 || d < delta {
+						delta = d
+						deltatype = 2
+						deltaedge = s.bestedge[v]
+					}
+				}
+			}
+			for b := 0; b < 2*n; b++ {
+				if s.blossomparent[b] == -1 && s.label[b] == 1 && s.bestedge[b] != -1 {
+					d := s.slack(s.bestedge[b]) / 2
+					if deltatype == -1 || d < delta {
+						delta = d
+						deltatype = 3
+						deltaedge = s.bestedge[b]
+					}
+				}
+			}
+			for b := n; b < 2*n; b++ {
+				if s.blossombase[b] >= 0 && s.blossomparent[b] == -1 && s.label[b] == 2 &&
+					(deltatype == -1 || s.dualvar[b] < delta) {
+					delta = s.dualvar[b]
+					deltatype = 4
+					deltablossom = b
+				}
+			}
+			if deltatype == -1 {
+				// No further improvement possible: maximum-cardinality
+				// optimum reached. Do a final update so the duals verify.
+				deltatype = 1
+				min := s.dualvar[0]
+				for v := 1; v < n; v++ {
+					if s.dualvar[v] < min {
+						min = s.dualvar[v]
+					}
+				}
+				delta = min
+				if delta < 0 {
+					delta = 0
+				}
+			}
+			for v := 0; v < n; v++ {
+				switch s.label[s.inblossom[v]] {
+				case 1:
+					s.dualvar[v] -= delta
+				case 2:
+					s.dualvar[v] += delta
+				}
+			}
+			for b := n; b < 2*n; b++ {
+				if s.blossombase[b] >= 0 && s.blossomparent[b] == -1 {
+					switch s.label[b] {
+					case 1:
+						s.dualvar[b] += delta
+					case 2:
+						s.dualvar[b] -= delta
+					}
+				}
+			}
+			switch deltatype {
+			case 1:
+				// Optimum reached.
+			case 2:
+				s.allowedge[deltaedge] = true
+				i := s.edges[deltaedge].I
+				if s.label[s.inblossom[i]] == 0 {
+					i = s.edges[deltaedge].J
+				}
+				s.queue = append(s.queue, i)
+			case 3:
+				s.allowedge[deltaedge] = true
+				s.queue = append(s.queue, s.edges[deltaedge].I)
+			case 4:
+				s.expandBlossom(deltablossom, false)
+			}
+			if deltatype == 1 {
+				break
+			}
+		}
+		if !augmented {
+			break
+		}
+		for b := n; b < 2*n; b++ {
+			if s.blossomparent[b] == -1 && s.blossombase[b] >= 0 &&
+				s.label[b] == 1 && s.dualvar[b] == 0 {
+				s.expandBlossom(b, true)
+			}
+		}
+	}
+}
+
+// verifyOptimum checks the complementary-slackness certificate of the
+// final matching against the solver's dual variables, following the
+// reference implementation's verification: every edge has non-negative
+// slack, every matched edge has zero slack, vertex duals are non-negative
+// (after the max-cardinality offset), and unmatched vertices have zero
+// dual. A nil return proves the matching is maximum-weight (maximum
+// cardinality first when requested).
+func (s *solver) verifyOptimum() error {
+	var offset int64
+	if s.maxCard {
+		min := s.dualvar[0]
+		for v := 1; v < s.n; v++ {
+			if s.dualvar[v] < min {
+				min = s.dualvar[v]
+			}
+		}
+		if min < 0 {
+			offset = -min
+		}
+	}
+	for v := 0; v < s.n; v++ {
+		if s.dualvar[v]+offset < 0 {
+			return fmt.Errorf("vertex %d has negative dual %d", v, s.dualvar[v])
+		}
+		if s.mate[v] == -1 && s.dualvar[v]+offset != 0 {
+			return fmt.Errorf("unmatched vertex %d has nonzero dual %d", v, s.dualvar[v])
+		}
+	}
+	for b := s.n; b < 2*s.n; b++ {
+		if s.blossombase[b] >= 0 && s.dualvar[b] < 0 {
+			return fmt.Errorf("blossom %d has negative dual %d", b, s.dualvar[b])
+		}
+	}
+	for k := range s.edges {
+		slack := s.slack(k)
+		// Add the duals of every blossom containing both endpoints.
+		i, j := s.edges[k].I, s.edges[k].J
+		var iblossoms, jblossoms []int
+		for b := i; b != -1; b = s.blossomparent[b] {
+			iblossoms = append(iblossoms, b)
+		}
+		for b := j; b != -1; b = s.blossomparent[b] {
+			jblossoms = append(jblossoms, b)
+		}
+		for _, bi := range iblossoms {
+			for _, bj := range jblossoms {
+				if bi == bj && bi >= s.n {
+					slack += 2 * s.dualvar[bi]
+				}
+			}
+		}
+		if slack < 0 {
+			return fmt.Errorf("edge %d (%d,%d) has negative slack %d", k, i, j, slack)
+		}
+		if s.mate[i] >= 0 && s.endpoint[s.mate[i]] == j && slack != 0 {
+			return fmt.Errorf("matched edge %d (%d,%d) has slack %d", k, i, j, slack)
+		}
+	}
+	return nil
+}
+
+func (s *solver) result() []int {
+	out := make([]int, s.n)
+	for v := 0; v < s.n; v++ {
+		if s.mate[v] >= 0 {
+			out[v] = s.endpoint[s.mate[v]]
+		} else {
+			out[v] = -1
+		}
+	}
+	return out
+}
+
+// at indexes a slice with Python-style negative wrap-around, which the
+// blossom traversals rely on.
+func at(xs []int, i int) int {
+	if i < 0 {
+		i += len(xs)
+	}
+	return xs[i]
+}
+
+func indexOf(xs []int, x int) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	panic("matching: element not found in blossom")
+}
+
+func rotate(xs []int, i int) []int {
+	out := make([]int, 0, len(xs))
+	out = append(out, xs[i:]...)
+	out = append(out, xs[:i]...)
+	return out
+}
+
+func reverseInts(xs []int) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Greedy computes a matching by repeatedly taking the heaviest remaining
+// edge between two unmatched vertices. It runs in O(E log E) and serves as
+// the ablation baseline for the Edmonds matcher (DESIGN.md §5). Ties are
+// broken by (I, J) order for determinism.
+func Greedy(n int, edges []Edge) []int {
+	sorted := append([]Edge(nil), edges...)
+	// Insertion-free sort by weight descending, then by endpoints.
+	sortEdges(sorted)
+	mate := make([]int, n)
+	for i := range mate {
+		mate[i] = -1
+	}
+	for _, e := range sorted {
+		if mate[e.I] == -1 && mate[e.J] == -1 && e.I != e.J {
+			mate[e.I] = e.J
+			mate[e.J] = e.I
+		}
+	}
+	return mate
+}
+
+func sortEdges(es []Edge) {
+	// Standard library sort; kept in a helper so the comparison order is
+	// documented in one place.
+	less := func(a, b Edge) bool {
+		if a.Weight != b.Weight {
+			return a.Weight > b.Weight
+		}
+		if a.I != b.I {
+			return a.I < b.I
+		}
+		return a.J < b.J
+	}
+	// Simple top-down merge sort to avoid importing sort for a hot path
+	// would be over-engineering; use sort.Slice via an adapter below.
+	quickSort(es, less)
+}
+
+func quickSort(es []Edge, less func(a, b Edge) bool) {
+	if len(es) < 2 {
+		return
+	}
+	pivot := es[len(es)/2]
+	left, right := 0, len(es)-1
+	for left <= right {
+		for less(es[left], pivot) {
+			left++
+		}
+		for less(pivot, es[right]) {
+			right--
+		}
+		if left <= right {
+			es[left], es[right] = es[right], es[left]
+			left++
+			right--
+		}
+	}
+	quickSort(es[:right+1], less)
+	quickSort(es[left:], less)
+}
+
+// BruteForcePerfect finds the maximum-weight perfect matching on the
+// complete graph over n vertices (n even, n <= 12) by exhaustive search.
+// It is exponential and intended only as a test oracle.
+func BruteForcePerfect(n int, weight func(i, j int) int64) ([]int, int64) {
+	if n%2 != 0 {
+		panic("matching: BruteForcePerfect requires even n")
+	}
+	mate := make([]int, n)
+	best := make([]int, n)
+	for i := range mate {
+		mate[i] = -1
+		best[i] = -1
+	}
+	var bestw int64 = -1 << 62
+	var rec func(int64)
+	rec = func(acc int64) {
+		i := -1
+		for v := 0; v < n; v++ {
+			if mate[v] == -1 {
+				i = v
+				break
+			}
+		}
+		if i == -1 {
+			if acc > bestw {
+				bestw = acc
+				copy(best, mate)
+			}
+			return
+		}
+		for j := i + 1; j < n; j++ {
+			if mate[j] == -1 {
+				mate[i], mate[j] = j, i
+				rec(acc + weight(i, j))
+				mate[i], mate[j] = -1, -1
+			}
+		}
+	}
+	rec(0)
+	return best, bestw
+}

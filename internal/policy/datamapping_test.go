@@ -1,0 +1,104 @@
+package policy
+
+import (
+	"testing"
+
+	"spcd/internal/engine"
+	"spcd/internal/topology"
+	"spcd/internal/workloads"
+)
+
+// dramBoundSpec builds a workload whose per-socket working set exceeds the
+// 20 MByte L3, so DRAM locality actually matters — the regime where the
+// data-mapping extension pays off.
+func dramBoundWorkload(t testing.TB) *workloads.Synth {
+	t.Helper()
+	return workloads.NewSynth(workloads.SynthSpec{
+		KernelName: "drambound",
+		Threads:    32,
+		Class: workloads.Class{
+			Name:            "drambound",
+			PrivatePages:    512, // 2 MByte per thread, 32 MByte per socket
+			BoundaryPages:   4,
+			GlobalPages:     16,
+			Accesses:        28_000,
+			ComputePerMemop: 2,
+		},
+		Graph:     workloads.Ring1D,
+		PairRatio: 0.05,
+	})
+}
+
+func TestDataMappingMovesPagesTowardOwners(t *testing.T) {
+	mach := topology.DefaultXeon()
+	w := dramBoundWorkload(t)
+
+	run := func(enable bool) engine.Metrics {
+		opts := TunedSPCDOptions(w, mach)
+		opts.DataMapping = enable
+		// Pin the thread placement (prohibitive move cost) so the
+		// comparison isolates the page-placement effect.
+		opts.MoveCostCycles = 1e18
+		p := NewSPCD(opts)
+		m, err := engine.Run(engine.Config{Machine: mach, Workload: w, Policy: p, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enable && p.DataMigrations() != m.VM.PageMigrations {
+			t.Errorf("policy counted %d migrations, vm %d", p.DataMigrations(), m.VM.PageMigrations)
+		}
+		return m
+	}
+
+	off := run(false)
+	on := run(true)
+	if off.VM.PageMigrations != 0 {
+		t.Errorf("pages migrated with the extension off: %d", off.VM.PageMigrations)
+	}
+	if on.VM.PageMigrations == 0 {
+		t.Fatal("extension enabled but no pages migrated")
+	}
+	// The whole point: remote DRAM traffic drops when private data follows
+	// its dominant accessor.
+	if on.Cache.DRAMRemote >= off.Cache.DRAMRemote {
+		t.Errorf("remote DRAM accesses did not drop: %d (on) vs %d (off)",
+			on.Cache.DRAMRemote, off.Cache.DRAMRemote)
+	}
+}
+
+func TestDataMappingRespectsDominance(t *testing.T) {
+	// With an impossible dominance requirement nothing may move.
+	mach := topology.DefaultXeon()
+	w := dramBoundWorkload(t)
+	opts := TunedSPCDOptions(w, mach)
+	opts.DataMapping = true
+	opts.DataDominance = 1.1
+	p := NewSPCD(opts)
+	m, err := engine.Run(engine.Config{Machine: mach, Workload: w, Policy: p, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.VM.PageMigrations != 0 {
+		t.Errorf("dominance > 1 should prevent all migrations, got %d", m.VM.PageMigrations)
+	}
+}
+
+func TestDataMappingCostAccounting(t *testing.T) {
+	mach := topology.DefaultXeon()
+	w := dramBoundWorkload(t)
+	opts := TunedSPCDOptions(w, mach)
+	opts.DataMapping = true
+	opts.PageMigrationCostCycles = 12345
+	p := NewSPCD(opts)
+	if _, err := engine.Run(engine.Config{Machine: mach, Workload: w, Policy: p, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if p.DataMigrations() == 0 {
+		t.Skip("no migrations this seed")
+	}
+	ov := p.Overheads()
+	want := p.DataMigrations() * 12345
+	if ov.MappingCycles < want {
+		t.Errorf("mapping overhead %d does not include page-migration cost %d", ov.MappingCycles, want)
+	}
+}

@@ -1,0 +1,78 @@
+package policy
+
+import (
+	"spcd/internal/commmatrix"
+	"spcd/internal/mapping"
+	"spcd/internal/topology"
+)
+
+// migrator holds the placement-decision machinery shared by the detection
+// policies (SPCD and the TLB comparator): the communication filter and
+// hierarchical mapping (via mapping.Mapper), cost-preserving alignment, the
+// relative-improvement check with escalating hysteresis, and the absolute
+// cost/benefit gate.
+type migrator struct {
+	mach   *topology.Machine
+	mapper *mapping.Mapper
+	aff    []int
+
+	minImprovement float64
+	moveCost       float64
+	hysteresis     float64
+}
+
+func newMigrator(mach *topology.Machine, mapper *mapping.Mapper, initial []int,
+	minImprovement, moveCost float64) *migrator {
+	if minImprovement == 0 {
+		minImprovement = 0.05
+	}
+	if moveCost == 0 {
+		moveCost = 40_000
+	}
+	return &migrator{
+		mach:           mach,
+		mapper:         mapper,
+		aff:            append([]int(nil), initial...),
+		minImprovement: minImprovement,
+		moveCost:       moveCost,
+		hysteresis:     1,
+	}
+}
+
+// affinity returns the current placement.
+func (g *migrator) affinity() []int { return append([]int(nil), g.aff...) }
+
+// consider evaluates the matrix through the filter and, when a better
+// placement exists, decides whether migrating pays off. projectedScale
+// converts one matrix-unit of cost delta into projected cycles saved over
+// the rest of the run (the inverse sampling rate of the detection mechanism
+// times the remaining work); zero disables the absolute gate. It returns
+// the new affinity, or nil when the placement should stay.
+func (g *migrator) consider(matrix *commmatrix.Matrix, projectedScale float64) ([]int, error) {
+	aff, err := g.mapper.Evaluate(matrix)
+	if err != nil || aff == nil {
+		return nil, err
+	}
+	aff = mapping.Align(aff, g.aff, g.mach)
+	moves := mapping.Moves(aff, g.aff)
+	if moves == 0 {
+		return nil, nil
+	}
+	oldCost := mapping.Cost(matrix, g.mach, g.aff)
+	newCost := mapping.Cost(matrix, g.mach, aff)
+	if g.minImprovement > 0 && oldCost > 0 &&
+		newCost > oldCost*(1-g.minImprovement*g.hysteresis) {
+		return nil, nil
+	}
+	if g.moveCost > 0 && projectedScale > 0 {
+		if (oldCost-newCost)*projectedScale < float64(moves)*g.moveCost {
+			return nil, nil
+		}
+	}
+	// Each applied migration raises the bar for the next one, so a static
+	// pattern settles after the first good placement while a genuine phase
+	// change (large cost gap) still gets through.
+	g.hysteresis *= 1.5
+	g.aff = aff
+	return g.affinity(), nil
+}

@@ -1,0 +1,490 @@
+// Package policy implements the four thread-placement policies the paper
+// evaluates (§V-D):
+//
+//   - OS: a communication-blind baseline in the spirit of the Linux
+//     scheduler: threads spread breadth-first across sockets and cores, with
+//     occasional load-balancing swaps that ignore communication.
+//   - Random: a fixed random placement per run, no migrations.
+//   - Oracle: a static placement computed from the full memory trace of the
+//     run (internal/trace), as in the paper's simulator-based oracle.
+//   - SPCD: the paper's mechanism — online detection from induced page
+//     faults (internal/core), the communication filter and hierarchical
+//     Edmonds mapping (internal/mapping), migrating threads as the pattern
+//     emerges or changes.
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spcd/internal/commmatrix"
+	"spcd/internal/core"
+	"spcd/internal/engine"
+	"spcd/internal/hashtab"
+	"spcd/internal/mapping"
+	"spcd/internal/topology"
+	"spcd/internal/trace"
+)
+
+// Scatter places threads breadth-first: slot 0 of each core first,
+// alternating sockets, then slot 1 — the classic CPU-bound spread of a
+// communication-blind scheduler. Neighbouring thread IDs land on different
+// sockets, which is exactly what communication-based mapping fixes.
+func Scatter(m *topology.Machine, n int) []int {
+	order := make([]int, 0, m.NumContexts())
+	for slot := 0; slot < m.ThreadsPerCore; slot++ {
+		for core := 0; core < m.CoresPerSocket; core++ {
+			for socket := 0; socket < m.Sockets; socket++ {
+				order = append(order, m.ContextOf(socket, core, slot))
+			}
+		}
+	}
+	return order[:n]
+}
+
+// --- OS baseline ---
+
+// OS is the baseline scheduler policy.
+type OS struct {
+	mach *topology.Machine
+	n    int
+	aff  []int
+	rng  *rand.Rand
+
+	churnInterval uint64  // cycles between load-balance decisions
+	churnProb     float64 // probability a decision swaps two threads
+	nextChurn     uint64
+}
+
+// NewOS creates the baseline policy.
+func NewOS() *OS { return &OS{churnProb: 0.4} }
+
+// Name implements engine.Policy.
+func (p *OS) Name() string { return "os" }
+
+// Init implements engine.Policy.
+func (p *OS) Init(env *engine.Env) error {
+	p.mach = env.Machine
+	p.n = env.NumThreads
+	p.aff = Scatter(env.Machine, env.NumThreads)
+	p.rng = rand.New(rand.NewSource(env.Seed*31 + 7))
+	if p.churnInterval == 0 {
+		p.churnInterval = env.Machine.SecondsToCycles(0.050)
+	}
+	p.nextChurn = p.churnInterval
+	return nil
+}
+
+// InitialAffinity implements engine.Policy.
+func (p *OS) InitialAffinity() []int { return append([]int(nil), p.aff...) }
+
+// Tick occasionally swaps two threads, modeling communication-blind load
+// balancing churn.
+func (p *OS) Tick(now uint64) []int {
+	if now < p.nextChurn {
+		return nil
+	}
+	p.nextChurn += p.churnInterval
+	if p.rng.Float64() >= p.churnProb || p.n < 2 {
+		return nil
+	}
+	i, j := p.rng.Intn(p.n), p.rng.Intn(p.n)
+	if i == j {
+		return nil
+	}
+	p.aff[i], p.aff[j] = p.aff[j], p.aff[i]
+	return append([]int(nil), p.aff...)
+}
+
+// Overheads implements engine.Policy; the baseline has none.
+func (p *OS) Overheads() engine.Overheads { return engine.Overheads{} }
+
+// FinalMatrix implements engine.Policy; the baseline detects nothing.
+func (p *OS) FinalMatrix() *commmatrix.Matrix { return nil }
+
+// --- Random ---
+
+// Random places threads with a fixed random permutation per run.
+type Random struct {
+	aff []int
+}
+
+// NewRandom creates the random-mapping policy.
+func NewRandom() *Random { return &Random{} }
+
+// Name implements engine.Policy.
+func (p *Random) Name() string { return "random" }
+
+// Init implements engine.Policy.
+func (p *Random) Init(env *engine.Env) error {
+	rng := rand.New(rand.NewSource(env.Seed*131 + 17))
+	perm := rng.Perm(env.Machine.NumContexts())
+	p.aff = perm[:env.NumThreads]
+	return nil
+}
+
+// InitialAffinity implements engine.Policy.
+func (p *Random) InitialAffinity() []int { return append([]int(nil), p.aff...) }
+
+// Tick implements engine.Policy; the random mapping never migrates.
+func (p *Random) Tick(uint64) []int { return nil }
+
+// Overheads implements engine.Policy.
+func (p *Random) Overheads() engine.Overheads { return engine.Overheads{} }
+
+// FinalMatrix implements engine.Policy.
+func (p *Random) FinalMatrix() *commmatrix.Matrix { return nil }
+
+// --- Oracle ---
+
+// Oracle computes a static optimal-communication placement from the run's
+// full memory trace before execution (§V-D "Oracle mapping"). Its analysis
+// cost is offline and therefore not part of the run's overhead, exactly as
+// in the paper.
+type Oracle struct {
+	aff    []int
+	matrix *commmatrix.Matrix
+}
+
+// NewOracle creates the oracle policy.
+func NewOracle() *Oracle { return &Oracle{} }
+
+// Name implements engine.Policy.
+func (p *Oracle) Name() string { return "oracle" }
+
+// Init replays the workload's deterministic streams (same seed as the run)
+// and maps threads with the same hierarchical algorithm SPCD uses.
+func (p *Oracle) Init(env *engine.Env) error {
+	p.matrix = trace.CommunicationMatrix(env.Workload, env.Seed, env.Machine.PageSize)
+	aff, err := mapping.Compute(p.matrix, env.Machine, nil)
+	if err != nil {
+		return fmt.Errorf("oracle: %w", err)
+	}
+	p.aff = aff
+	return nil
+}
+
+// InitialAffinity implements engine.Policy.
+func (p *Oracle) InitialAffinity() []int { return append([]int(nil), p.aff...) }
+
+// Tick implements engine.Policy; the oracle is static.
+func (p *Oracle) Tick(uint64) []int { return nil }
+
+// Overheads implements engine.Policy.
+func (p *Oracle) Overheads() engine.Overheads { return engine.Overheads{} }
+
+// FinalMatrix returns the ground-truth matrix the oracle derived.
+func (p *Oracle) FinalMatrix() *commmatrix.Matrix { return p.matrix }
+
+// --- SPCD ---
+
+// SPCDOptions tunes the online policy beyond the paper defaults.
+type SPCDOptions struct {
+	// Config overrides the detector/sampler configuration; nil selects
+	// core.DefaultConfig for the machine.
+	Config *core.Config
+	// EvalIntervalCycles is how often the communication matrix is
+	// evaluated by the filter; 0 selects 50 ms.
+	EvalIntervalCycles uint64
+	// FirstEvalCycles is when the first evaluation runs; 0 selects
+	// EvalIntervalCycles. An early first evaluation lets the initial
+	// migration happen before most of the footprint is first-touched.
+	FirstEvalCycles uint64
+	// DecayFactor ages the matrix at every evaluation so the detected
+	// pattern tracks the current phase; 0 selects 0.9, 1 disables aging.
+	DecayFactor float64
+	// Matcher selects the matching algorithm; nil selects Edmonds.
+	Matcher mapping.Matcher
+	// MinImprovement is the fractional communication-cost reduction a new
+	// mapping must deliver (relative to keeping the current placement) to
+	// justify migrating; it suppresses churn from detection noise that
+	// slips past the communication filter. 0 selects 0.05; negative
+	// disables the check.
+	MinImprovement float64
+	// MoveCostCycles estimates the full cost of migrating one thread
+	// (kernel work plus refilling its working set on the new core), used
+	// by the cost/benefit migration gate. 0 selects 40,000 cycles;
+	// negative disables the gate.
+	MoveCostCycles float64
+	// OnMigrate, if set, observes every applied migration: the simulated
+	// time, the new affinity, and the matrix snapshot that produced it.
+	OnMigrate func(now uint64, aff []int, matrix *commmatrix.Matrix)
+	// OnEvaluate, if set, observes every periodic matrix evaluation with
+	// a snapshot taken before aging, whether or not a migration follows.
+	// It is how the producer/consumer phase matrices of Fig. 6 are
+	// captured.
+	OnEvaluate func(now uint64, matrix *commmatrix.Matrix)
+
+	// MinNewEvents postpones a matrix evaluation until at least this many
+	// new communication events arrived since the previous one, so kernels
+	// with little communication (CG, EP) do not pay filter + matching
+	// costs for evaluations that carry no new information. 0 selects
+	// twice the thread count; negative disables the gate.
+	MinNewEvents int
+
+	// DataMapping enables the extension the paper names but does not
+	// evaluate (§IV: "the mechanisms can be used to perform data mapping
+	// as well"): at every evaluation, regions whose faults are dominated
+	// by one thread are migrated to that thread's NUMA node. It recovers
+	// locality for data that serial initialization homed on one node.
+	DataMapping bool
+
+	// DataDominance is the fraction of a region's faults one thread must
+	// account for to pull the region's pages (0 selects 0.7).
+	DataDominance float64
+
+	// PageMigrationCostCycles models the kernel cost of moving one page
+	// (copy + remap + shootdown); 0 selects 6000 cycles (~3 us).
+	PageMigrationCostCycles uint64
+}
+
+// SPCD is the paper's mechanism as an engine policy.
+type SPCD struct {
+	opts SPCDOptions
+
+	mach     *topology.Machine
+	n        int
+	env      *engine.Env
+	detector *core.Detector
+	sampler  *core.Sampler
+	mapper   *mapping.Mapper
+	mig      *migrator
+
+	evalInterval    uint64
+	nextEval        uint64
+	lastEvents      uint64
+	lowEvals        int
+	configuredFloor int
+
+	dataMigrations  uint64
+	dataMigCycles   uint64
+	pagesPerRegion  uint64
+	regionPageShift uint
+}
+
+// NewSPCD creates the SPCD policy with the given options (zero value =
+// paper defaults).
+func NewSPCD(opts SPCDOptions) *SPCD { return &SPCD{opts: opts} }
+
+// Name implements engine.Policy.
+func (p *SPCD) Name() string { return "spcd" }
+
+// Init implements engine.Policy: it registers the detector in the simulated
+// fault handler and starts the sampler kernel thread.
+func (p *SPCD) Init(env *engine.Env) error {
+	p.mach = env.Machine
+	p.n = env.NumThreads
+	p.env = env
+
+	cfg := core.DefaultConfig(env.Machine, env.NumThreads)
+	if p.opts.Config != nil {
+		cfg = *p.opts.Config
+	}
+	det, err := core.NewDetector(cfg)
+	if err != nil {
+		return err
+	}
+	smp, err := core.NewSampler(cfg, env.AS, env.Seed*1009+3)
+	if err != nil {
+		return err
+	}
+	mp, err := mapping.NewMapper(env.Machine, env.NumThreads, p.opts.Matcher)
+	if err != nil {
+		return err
+	}
+	p.detector = det
+	p.sampler = smp
+	p.mapper = mp
+	p.mig = newMigrator(env.Machine, mp, Scatter(env.Machine, env.NumThreads),
+		p.opts.MinImprovement, p.opts.MoveCostCycles)
+	env.AS.AddHandler(det.HandleFault)
+
+	p.evalInterval = p.opts.EvalIntervalCycles
+	if p.evalInterval == 0 {
+		p.evalInterval = env.Machine.SecondsToCycles(0.050)
+	}
+	p.nextEval = p.opts.FirstEvalCycles
+	if p.nextEval == 0 {
+		p.nextEval = p.evalInterval
+	}
+	p.configuredFloor = cfg.MinBatch
+	if cfg.Granularity >= env.Machine.PageSize {
+		p.pagesPerRegion = uint64(cfg.Granularity / env.Machine.PageSize)
+	} else {
+		p.pagesPerRegion = 1
+	}
+	shift := uint(0)
+	for 1<<shift != env.Machine.PageSize {
+		shift++
+	}
+	p.regionPageShift = shift
+	return nil
+}
+
+// InitialAffinity implements engine.Policy: SPCD starts from the same
+// communication-blind placement as the OS and improves it online.
+func (p *SPCD) InitialAffinity() []int { return p.mig.affinity() }
+
+// Tick runs the sampler on its own schedule and periodically evaluates the
+// communication matrix through the filter, migrating when it triggers.
+func (p *SPCD) Tick(now uint64) []int {
+	p.sampler.MaybeRun(now)
+	if now < p.nextEval {
+		return nil
+	}
+	p.nextEval += p.evalInterval
+	if p.opts.DataMapping {
+		// Page placement relies on per-region fault counts, not on
+		// communication events, so it runs on every evaluation tick.
+		p.migrateData()
+	}
+	matrix := p.detector.Snapshot()
+	if p.opts.OnEvaluate != nil {
+		p.opts.OnEvaluate(now, matrix)
+	}
+	decay := p.opts.DecayFactor
+	if decay == 0 {
+		decay = 0.9
+	}
+	p.detector.Decay(decay)
+
+	// Event gate: only run the filter and the mapping algorithm when
+	// enough new communication arrived to possibly change the outcome.
+	minNew := p.opts.MinNewEvents
+	if minNew == 0 {
+		minNew = 2 * p.n
+	}
+	if minNew > 0 {
+		events := p.detector.Stats().CommEvents
+		fresh := events - p.lastEvents
+		if fresh < uint64(minNew) {
+			// Feedback control of the sampling effort: once a pattern
+			// has been established (at least one productive evaluation),
+			// repeated unproductive evaluations mean the application has
+			// little communication left to reveal — shrink the sampler's
+			// floor so it is not taxed for information that is not
+			// there. During cold start (no productive evaluation yet)
+			// the floor stays, because detection is still warming up.
+			if p.lastEvents > 0 {
+				p.lowEvals++
+				if p.lowEvals >= 2 {
+					if half := p.sampler.MinBatch() / 2; half >= 2 {
+						p.sampler.SetMinBatch(half)
+					}
+				}
+			}
+			return nil
+		}
+		p.lowEvals = 0
+		p.sampler.SetMinBatch(p.configuredFloor)
+		p.lastEvents = events
+	}
+
+	// The detected matrix is a sampled view of the real communication:
+	// each induced fault samples roughly one access point, so one detected
+	// event stands for about (accesses / induced faults) real co-accesses.
+	// Projected over the accesses still to run, that converts the cost
+	// delta into expected cycles saved (the migrator's benefit gate).
+	scale := 0.0
+	st := p.env.AS.Stats()
+	if st.InducedFaults > 0 {
+		total := float64(p.env.Workload.AccessesPerThread()) * float64(p.n)
+		remaining := total - float64(st.Accesses)
+		if remaining > 0 {
+			scale = remaining / float64(st.InducedFaults)
+		}
+	}
+	aff, err := p.mig.consider(matrix, scale)
+	if err != nil || aff == nil {
+		return nil
+	}
+	if p.opts.OnMigrate != nil {
+		p.opts.OnMigrate(now, append([]int(nil), aff...), matrix)
+	}
+	return aff
+}
+
+// migrateData implements the data-mapping extension: regions whose faults
+// are dominated by one thread move to that thread's current NUMA node.
+func (p *SPCD) migrateData() {
+	dominance := p.opts.DataDominance
+	if dominance == 0 {
+		dominance = 0.7
+	}
+	pageCost := p.opts.PageMigrationCostCycles
+	if pageCost == 0 {
+		pageCost = 6000
+	}
+	granShift := p.detector.GranularityShift()
+	p.detector.ForEachRegion(func(region uint64, sharers []hashtab.Sharer) {
+		var total, best uint32
+		owner := -1
+		for _, s := range sharers {
+			total += s.Count
+			if s.Count > best {
+				best = s.Count
+				owner = s.Thread
+			}
+		}
+		if owner < 0 || total < 3 || float64(best) < dominance*float64(total) {
+			return
+		}
+		node := p.mach.NodeOf(p.mig.aff[owner])
+		firstPage := (region << granShift) >> p.regionPageShift
+		for i := uint64(0); i < p.pagesPerRegion; i++ {
+			if p.env.AS.MigratePage(firstPage+i, node) {
+				p.dataMigrations++
+				p.dataMigCycles += pageCost
+			}
+		}
+	})
+}
+
+// DataMigrations returns how many pages the data-mapping extension moved.
+func (p *SPCD) DataMigrations() uint64 { return p.dataMigrations }
+
+// Overheads reports the modeled detection and mapping cost (§V-F). Page
+// migration work of the data-mapping extension counts as mapping overhead.
+func (p *SPCD) Overheads() engine.Overheads {
+	return engine.Overheads{
+		DetectionCycles: p.detector.Stats().DetectionCycles + p.sampler.Stats().SamplerCycles,
+		MappingCycles:   p.mapper.MappingCycles() + p.dataMigCycles,
+	}
+}
+
+// FinalMatrix returns the detected communication matrix.
+func (p *SPCD) FinalMatrix() *commmatrix.Matrix { return p.detector.Snapshot() }
+
+// Detector exposes the detector (for pattern visualization and stats).
+func (p *SPCD) Detector() *core.Detector { return p.detector }
+
+// Sampler exposes the sampler (for stats).
+func (p *SPCD) Sampler() *core.Sampler { return p.sampler }
+
+// Mapper exposes the mapper (for stats).
+func (p *SPCD) Mapper() *mapping.Mapper { return p.mapper }
+
+// ByName constructs a policy from its report name. SPCD and TLB get
+// paper-default options.
+func ByName(name string) (engine.Policy, error) {
+	switch name {
+	case "os":
+		return NewOS(), nil
+	case "random":
+		return NewRandom(), nil
+	case "oracle":
+		return NewOracle(), nil
+	case "spcd":
+		return NewSPCD(SPCDOptions{}), nil
+	case "tlb":
+		return NewTLB(TLBOptions{}), nil
+	case "hwc":
+		return NewHWC(HWCOptions{}), nil
+	}
+	return nil, fmt.Errorf("policy: unknown policy %q", name)
+}
+
+// Names lists the policies the paper evaluates, in its presentation order.
+// The TLB comparator ("tlb", §VI-B / ref. [22]) is available by name but is
+// not part of the paper's four-way comparison.
+var Names = []string{"os", "random", "oracle", "spcd"}

@@ -1,0 +1,192 @@
+package policy
+
+import (
+	"spcd/internal/commmatrix"
+	"spcd/internal/engine"
+	"spcd/internal/mapping"
+	"spcd/internal/topology"
+	"spcd/internal/workloads"
+)
+
+// TLB implements the TLB-based communication detection the paper compares
+// against in §VI-B (Cruz, Diener, Navaux — IPDPS 2012, the paper's ref.
+// [22]): a kernel thread periodically reads the TLB contents of every
+// hardware context and counts a unit of communication between the threads
+// of any two contexts whose TLBs hold the same virtual page. It drives the
+// same hierarchical mapping machinery as SPCD, so the two mechanisms differ
+// only in how the matrix is detected.
+//
+// The paper notes that on x86 this mechanism would require hardware
+// modifications (TLBs are not software-readable); the simulated MMU exposes
+// them, which is exactly the hardware hook the authors proposed.
+type TLB struct {
+	opts TLBOptions
+
+	mach   *topology.Machine
+	n      int
+	env    *engine.Env
+	matrix *commmatrix.Matrix
+	mig    *migrator
+
+	scanInterval uint64
+	nextScan     uint64
+	evalInterval uint64
+	nextEval     uint64
+
+	scans      uint64
+	scanCycles uint64
+	mapper     *mapping.Mapper
+}
+
+// TLBOptions tunes the TLB policy.
+type TLBOptions struct {
+	// ScanIntervalCycles is the period of the TLB-comparison kernel
+	// thread; 0 scales it like the SPCD sampler (nominal/64).
+	ScanIntervalCycles uint64
+	// EvalIntervalCycles is the mapping-evaluation period; 0 scales like
+	// SPCD (nominal/8).
+	EvalIntervalCycles uint64
+	// ScanCostCycles models the kernel work of reading and comparing one
+	// context's TLB (0 selects 400 cycles per context per scan).
+	ScanCostCycles uint64
+	// DecayFactor ages the matrix per evaluation (0 selects 0.9).
+	DecayFactor float64
+	// MinImprovement and MoveCostCycles gate migrations as in SPCD.
+	MinImprovement float64
+	MoveCostCycles float64
+}
+
+// NewTLB creates the TLB-detection policy.
+func NewTLB(opts TLBOptions) *TLB { return &TLB{opts: opts} }
+
+// TunedTLB returns a TLB policy with periods scaled to the workload, using
+// the same ratios as the tuned SPCD policy so comparisons are fair.
+func TunedTLB(w workloads.Workload, m *topology.Machine) *TLB {
+	nominal := workloads.NominalCycles(w)
+	return NewTLB(TLBOptions{
+		ScanIntervalCycles: maxU64(nominal/64, 1),
+		EvalIntervalCycles: maxU64(nominal/8, 1),
+		MinImprovement:     0.05,
+	})
+}
+
+// Name implements engine.Policy.
+func (p *TLB) Name() string { return "tlb" }
+
+// Init implements engine.Policy.
+func (p *TLB) Init(env *engine.Env) error {
+	p.mach = env.Machine
+	p.n = env.NumThreads
+	p.env = env
+	p.matrix = commmatrix.New(env.NumThreads)
+	mp, err := mapping.NewMapper(env.Machine, env.NumThreads, nil)
+	if err != nil {
+		return err
+	}
+	p.mapper = mp
+	p.mig = newMigrator(env.Machine, mp, Scatter(env.Machine, env.NumThreads),
+		p.opts.MinImprovement, p.opts.MoveCostCycles)
+
+	p.scanInterval = p.opts.ScanIntervalCycles
+	if p.scanInterval == 0 {
+		p.scanInterval = env.Machine.SecondsToCycles(0.010)
+	}
+	p.nextScan = p.scanInterval
+	p.evalInterval = p.opts.EvalIntervalCycles
+	if p.evalInterval == 0 {
+		p.evalInterval = env.Machine.SecondsToCycles(0.050)
+	}
+	p.nextEval = p.evalInterval
+	return nil
+}
+
+// InitialAffinity implements engine.Policy.
+func (p *TLB) InitialAffinity() []int { return p.mig.affinity() }
+
+// Tick scans TLBs on the scan period and evaluates the matrix on the eval
+// period.
+func (p *TLB) Tick(now uint64) []int {
+	if now >= p.nextScan {
+		for now >= p.nextScan {
+			p.nextScan += p.scanInterval
+		}
+		p.scan()
+	}
+	if now < p.nextEval {
+		return nil
+	}
+	p.nextEval += p.evalInterval
+	decay := p.opts.DecayFactor
+	if decay == 0 {
+		decay = 0.9
+	}
+	snapshot := p.matrix.Copy()
+	p.matrix.Scale(decay)
+	// One TLB-overlap unit stands for sustained sharing over a scan
+	// period; approximate the per-unit access volume by the accesses per
+	// scan spread over the machine.
+	scale := 0.0
+	if p.scans > 0 {
+		st := p.env.AS.Stats()
+		total := float64(p.env.Workload.AccessesPerThread()) * float64(p.n)
+		remaining := total - float64(st.Accesses)
+		if remaining > 0 {
+			scale = remaining / float64(p.scans*uint64(p.n))
+		}
+	}
+	aff, err := p.mig.consider(snapshot, scale)
+	if err != nil || aff == nil {
+		return nil
+	}
+	return aff
+}
+
+// scan compares the TLB contents of all contexts and accumulates
+// communication between threads whose contexts cache the same page.
+func (p *TLB) scan() {
+	p.scans++
+	cost := p.opts.ScanCostCycles
+	if cost == 0 {
+		cost = 400
+	}
+	p.scanCycles += cost * uint64(p.mach.NumContexts())
+
+	// thread running on each context under the current placement.
+	threadOn := make(map[int]int, p.n)
+	for th, ctx := range p.mig.aff {
+		threadOn[ctx] = th
+	}
+	pages := make(map[uint64][]int) // vpn -> threads whose TLB holds it
+	var buf []uint64
+	for ctx := 0; ctx < p.mach.NumContexts(); ctx++ {
+		th, running := threadOn[ctx]
+		if !running {
+			continue
+		}
+		buf = p.env.AS.TLBPages(ctx, buf[:0])
+		for _, vpn := range buf {
+			pages[vpn] = append(pages[vpn], th)
+		}
+	}
+	for _, threads := range pages {
+		for i := 0; i < len(threads); i++ {
+			for j := i + 1; j < len(threads); j++ {
+				p.matrix.Add(threads[i], threads[j], 1)
+			}
+		}
+	}
+}
+
+// Overheads implements engine.Policy: scanning is the detection cost.
+func (p *TLB) Overheads() engine.Overheads {
+	return engine.Overheads{
+		DetectionCycles: p.scanCycles,
+		MappingCycles:   p.mapper.MappingCycles(),
+	}
+}
+
+// FinalMatrix implements engine.Policy.
+func (p *TLB) FinalMatrix() *commmatrix.Matrix { return p.matrix.Copy() }
+
+// Scans returns how many TLB sweeps ran.
+func (p *TLB) Scans() uint64 { return p.scans }

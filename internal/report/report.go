@@ -1,0 +1,113 @@
+// Package report renders experiment results as aligned text tables and CSV,
+// shared by the command-line tools. It keeps the formatting conventions in
+// one place: figures print one row per kernel with one column per policy,
+// normalized to a baseline; Table II prints absolute values with percentage
+// deltas in parentheses, like the paper.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned-text / CSV table builder.
+type Table struct {
+	Title   string
+	header  []string
+	rows    [][]string
+	aligned bool
+}
+
+// NewTable creates a table with the given column headers. The first column
+// is left-aligned, the rest right-aligned.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header, aligned: true}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := append([]string(nil), cells...)
+	for len(row) < len(t.header) {
+		row = append(row, "")
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row, formatting every value with the given verb (for
+// example "%.3f").
+func (t *Table) AddRowf(label, verb string, values ...float64) {
+	row := make([]string, 0, len(values)+1)
+	row = append(row, label)
+	for _, v := range values {
+		row = append(row, fmt.Sprintf(verb, v))
+	}
+	t.AddRow(row...)
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i == 0 {
+				fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&sb, "  %*s", widths[i], cell)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (RFC-4180-style quoting for cells
+// containing commas or quotes).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(csvEscape(cell))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }

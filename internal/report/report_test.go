@@ -1,0 +1,81 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteTextAligns(t *testing.T) {
+	tb := NewTable("demo", "kernel", "os", "spcd")
+	tb.AddRow("BT", "1.000", "0.975")
+	tb.AddRow("SP", "1.000", "0.946")
+	var sb strings.Builder
+	if err := tb.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Errorf("title = %q", lines[0])
+	}
+	// All data lines must have equal width (aligned columns).
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("rows not aligned:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "0.946") {
+		t.Errorf("cell missing: %q", lines[3])
+	}
+}
+
+func TestAddRowPadsShortRows(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	var sb strings.Builder
+	if err := tb.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 1 {
+		t.Errorf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := NewTable("", "kernel", "x", "y")
+	tb.AddRowf("SP", "%.2f", 1.0, 0.75)
+	var sb strings.Builder
+	tb.WriteText(&sb)
+	if !strings.Contains(sb.String(), "0.75") || !strings.Contains(sb.String(), "1.00") {
+		t.Errorf("formatted values missing: %s", sb.String())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("ignored in csv", "kernel", "value")
+	tb.AddRow("BT", "1.5")
+	tb.AddRow(`we"ird`, "a,b")
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "kernel,value\nBT,1.5\n\"we\"\"ird\",\"a,b\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	cases := map[string]string{
+		"plain":   "plain",
+		"a,b":     `"a,b"`,
+		`q"q`:     `"q""q"`,
+		"line\nx": "\"line\nx\"",
+	}
+	for in, want := range cases {
+		if got := csvEscape(in); got != want {
+			t.Errorf("csvEscape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

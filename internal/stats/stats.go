@@ -1,0 +1,227 @@
+// Package stats provides the statistical machinery used by the evaluation:
+// sample means, standard deviations, and Student-t confidence intervals
+// (the paper reports 95% confidence intervals over 10 runs, §V-A), plus
+// normalization helpers for the "normalized to the OS" figures.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (divides by n-1).
+// It returns 0 for fewer than two samples.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Summary holds the aggregate of a repeated measurement.
+type Summary struct {
+	N      int     // number of samples
+	Mean   float64 // sample mean
+	StdDev float64 // unbiased sample standard deviation
+	CI95   float64 // half-width of the 95% Student-t confidence interval
+}
+
+// Summarize aggregates the samples into a Summary with a 95% Student-t
+// confidence interval, matching the paper's methodology (§V-A).
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Mean: Mean(xs), StdDev: StdDev(xs)}
+	if s.N >= 2 {
+		t := TQuantile(0.975, float64(s.N-1))
+		s.CI95 = t * s.StdDev / math.Sqrt(float64(s.N))
+	}
+	return s
+}
+
+// String formats the summary as "mean ± ci95 (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, s.CI95, s.N)
+}
+
+// Normalize divides each sample mean by the baseline mean, producing the
+// "normalized to the OS" values used in Figures 8-15. It returns an error if
+// the baseline mean is zero.
+func Normalize(value, baseline float64) (float64, error) {
+	if baseline == 0 {
+		return 0, errors.New("stats: cannot normalize to zero baseline")
+	}
+	return value / baseline, nil
+}
+
+// PercentChange returns the relative change of value versus baseline in
+// percent, as reported in Table II (negative means reduction).
+func PercentChange(value, baseline float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (value - baseline) / baseline * 100
+}
+
+// TQuantile returns the quantile function (inverse CDF) of the Student-t
+// distribution with df degrees of freedom, evaluated at probability p in
+// (0, 1). It inverts TCDF by bisection; accuracy is better than 1e-10, far
+// below what confidence intervals need.
+func TQuantile(p, df float64) float64 {
+	if df <= 0 {
+		panic("stats: TQuantile requires df > 0")
+	}
+	if p <= 0 || p >= 1 {
+		panic("stats: TQuantile requires 0 < p < 1")
+	}
+	if p == 0.5 {
+		return 0
+	}
+	// The t distribution is symmetric; bracket the root and bisect.
+	lo, hi := -1e3, 1e3
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if TCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// TCDF returns the CDF of the Student-t distribution with df degrees of
+// freedom at x, computed through the regularized incomplete beta function.
+func TCDF(x, df float64) float64 {
+	if math.IsNaN(x) {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0.5
+	}
+	// P(T <= x) for x > 0 is 1 - I_{df/(df+x^2)}(df/2, 1/2) / 2.
+	ib := RegIncBeta(df/2, 0.5, df/(df+x*x))
+	if x > 0 {
+		return 1 - ib/2
+	}
+	return ib / 2
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Lentz's algorithm), the standard
+// numerical approach.
+func RegIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// GeoMean returns the geometric mean of xs, which must all be positive.
+// It is used for summarizing normalized results across benchmarks.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: geometric mean of empty slice")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geometric mean requires positive values, got %g", x)
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}

@@ -1,0 +1,215 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %g, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g, want 0", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic dataset is 32/7.
+	if got := Variance(xs); !almostEqual(got, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %g, want %g", got, 32.0/7.0)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %g", got)
+	}
+	if Variance([]float64{1}) != 0 {
+		t.Error("Variance of single sample should be 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median odd = %g, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("Median even = %g, want 2.5", got)
+	}
+	if Median(nil) != 0 {
+		t.Error("Median(nil) should be 0")
+	}
+}
+
+func TestTQuantileKnownValues(t *testing.T) {
+	// Reference values from standard t tables.
+	cases := []struct {
+		p, df, want, tol float64
+	}{
+		{0.975, 9, 2.262, 1e-3}, // 10 runs -> df 9, the paper's setting
+		{0.975, 1, 12.706, 1e-2},
+		{0.975, 30, 2.042, 1e-3},
+		{0.95, 9, 1.833, 1e-3},
+		{0.975, 1000, 1.962, 1e-3}, // approaches normal 1.96
+	}
+	for _, c := range cases {
+		got := TQuantile(c.p, c.df)
+		if !almostEqual(got, c.want, c.tol) {
+			t.Errorf("TQuantile(%g, %g) = %g, want %g", c.p, c.df, got, c.want)
+		}
+	}
+}
+
+func TestTQuantileSymmetry(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := 0.5 + float64(raw%4000+1)/10000.0 // p in (0.5, 0.9001)
+		df := float64(raw%40 + 1)
+		return almostEqual(TQuantile(p, df), -TQuantile(1-p, df), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTCDFProperties(t *testing.T) {
+	if got := TCDF(0, 5); got != 0.5 {
+		t.Errorf("TCDF(0) = %g, want 0.5", got)
+	}
+	if TCDF(3, 9) <= TCDF(1, 9) {
+		t.Error("TCDF must be increasing")
+	}
+	if got := TCDF(100, 9); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("TCDF(100) = %g, want ~1", got)
+	}
+	if got := TCDF(-100, 9); !almostEqual(got, 0, 1e-9) {
+		t.Errorf("TCDF(-100) = %g, want ~0", got)
+	}
+}
+
+func TestTQuantileRoundTrip(t *testing.T) {
+	for _, df := range []float64{1, 5, 9, 25} {
+		for _, p := range []float64{0.05, 0.25, 0.5, 0.9, 0.975} {
+			x := TQuantile(p, df)
+			if !almostEqual(TCDF(x, df), p, 1e-9) {
+				t.Errorf("TCDF(TQuantile(%g, %g)) = %g", p, df, TCDF(x, df))
+			}
+		}
+	}
+}
+
+func TestTQuantilePanics(t *testing.T) {
+	for _, bad := range []struct{ p, df float64 }{{0, 9}, {1, 9}, {0.5, 0}, {0.5, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TQuantile(%g, %g) should panic", bad.p, bad.df)
+				}
+			}()
+			TQuantile(bad.p, bad.df)
+		}()
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if RegIncBeta(2, 3, 0) != 0 {
+		t.Error("I_0 should be 0")
+	}
+	if RegIncBeta(2, 3, 1) != 1 {
+		t.Error("I_1 should be 1")
+	}
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); !almostEqual(got, x, 1e-10) {
+			t.Errorf("RegIncBeta(1,1,%g) = %g", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	if got := RegIncBeta(2.5, 4, 0.3) + RegIncBeta(4, 2.5, 0.7); !almostEqual(got, 1, 1e-10) {
+		t.Errorf("symmetry violated: %g", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{10, 11, 9, 10.5, 9.5, 10, 10.2, 9.8, 10.1, 9.9}
+	s := Summarize(xs)
+	if s.N != 10 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !almostEqual(s.Mean, 10.0, 1e-9) {
+		t.Errorf("Mean = %g", s.Mean)
+	}
+	if s.CI95 <= 0 {
+		t.Errorf("CI95 = %g, want > 0", s.CI95)
+	}
+	// Half-width = t(0.975, 9) * s / sqrt(10).
+	want := TQuantile(0.975, 9) * s.StdDev / math.Sqrt(10)
+	if !almostEqual(s.CI95, want, 1e-12) {
+		t.Errorf("CI95 = %g, want %g", s.CI95, want)
+	}
+	if Summarize([]float64{5}).CI95 != 0 {
+		t.Error("single sample has no confidence interval")
+	}
+	if Summarize(xs).String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestSummarizeCoverage(t *testing.T) {
+	// With normal data, the 95% CI should contain the true mean roughly 95%
+	// of the time. Allow generous slack since this is a randomized check.
+	rng := rand.New(rand.NewSource(42))
+	const trials = 400
+	hits := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 10)
+		for j := range xs {
+			xs[j] = 5 + rng.NormFloat64()
+		}
+		s := Summarize(xs)
+		if math.Abs(s.Mean-5) <= s.CI95 {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.88 || rate > 1.0 {
+		t.Errorf("CI coverage = %.3f, want ~0.95", rate)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v, err := Normalize(80, 100)
+	if err != nil || v != 0.8 {
+		t.Errorf("Normalize = %g, %v", v, err)
+	}
+	if _, err := Normalize(1, 0); err == nil {
+		t.Error("expected error normalizing to zero")
+	}
+}
+
+func TestPercentChange(t *testing.T) {
+	if got := PercentChange(83.3, 100); !almostEqual(got, -16.7, 1e-9) {
+		t.Errorf("PercentChange = %g, want -16.7", got)
+	}
+	if got := PercentChange(104.6, 100); !almostEqual(got, 4.6, 1e-9) {
+		t.Errorf("PercentChange = %g, want 4.6", got)
+	}
+	if PercentChange(5, 0) != 0 {
+		t.Error("PercentChange with zero baseline should be 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4})
+	if err != nil || !almostEqual(g, 2, 1e-12) {
+		t.Errorf("GeoMean = %g, %v", g, err)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("expected error for negative input")
+	}
+}

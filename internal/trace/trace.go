@@ -1,0 +1,94 @@
+// Package trace implements the memory-trace analysis used for the oracle
+// mapping (paper §V-D): it replays a workload's deterministic access
+// streams offline — the equivalent of the full memory traces the authors
+// collected with a simulator (their ref. [6]) — and derives the ground-truth
+// communication pattern. The oracle policy feeds this matrix to the same
+// mapping algorithm SPCD uses online.
+package trace
+
+import (
+	"spcd/internal/commmatrix"
+	"spcd/internal/workloads"
+)
+
+// CommunicationMatrix replays every thread of one run of w (with the given
+// seed) and builds the page-granularity communication matrix: for each page,
+// every pair of threads that both access it communicates in proportion to
+// the smaller of their access counts (the volume actually exchangeable).
+func CommunicationMatrix(w workloads.Workload, seed int64, pageBytes int) *commmatrix.Matrix {
+	n := w.NumThreads()
+	m := commmatrix.New(n)
+	if pageBytes <= 0 {
+		pageBytes = workloads.PageBytes
+	}
+	run := w.NewRun(seed)
+	perPage := make(map[uint64][]uint32)
+	buf := make([]workloads.Access, 1024)
+	for t := 0; t < n; t++ {
+		for {
+			k := run.Next(t, buf)
+			if k == 0 {
+				break
+			}
+			for _, a := range buf[:k] {
+				page := a.Addr / uint64(pageBytes)
+				counts := perPage[page]
+				if counts == nil {
+					counts = make([]uint32, n)
+					perPage[page] = counts
+				}
+				counts[t]++
+			}
+		}
+	}
+	for _, counts := range perPage {
+		addPageComm(m, counts)
+	}
+	return m
+}
+
+// addPageComm accumulates the pairwise communication of one page.
+func addPageComm(m *commmatrix.Matrix, counts []uint32) {
+	n := len(counts)
+	for i := 0; i < n; i++ {
+		ci := counts[i]
+		if ci == 0 {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			cj := counts[j]
+			if cj == 0 {
+				continue
+			}
+			min := ci
+			if cj < min {
+				min = cj
+			}
+			m.Add(i, j, float64(min))
+		}
+	}
+}
+
+// Footprint replays one run and returns the number of distinct pages
+// touched and total accesses, used for reporting workload scale.
+func Footprint(w workloads.Workload, seed int64, pageBytes int) (pages uint64, accesses uint64) {
+	if pageBytes <= 0 {
+		pageBytes = workloads.PageBytes
+	}
+	run := w.NewRun(seed)
+	seen := make(map[uint64]struct{})
+	buf := make([]workloads.Access, 1024)
+	for t := 0; t < w.NumThreads(); t++ {
+		for {
+			k := run.Next(t, buf)
+			if k == 0 {
+				break
+			}
+			accesses += uint64(k)
+			for _, a := range buf[:k] {
+				seen[a.Addr/uint64(pageBytes)] = struct{}{}
+			}
+		}
+	}
+	return uint64(len(seen)), accesses
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"testing"
+
+	"spcd/internal/workloads"
+)
+
+func TestCommunicationMatrixFindsPairs(t *testing.T) {
+	w, err := workloads.NewProducerConsumer(8, workloads.ClassTiny, 1, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := CommunicationMatrix(w, 5, 4096)
+	// Phase 1 pairs are (0,1), (2,3), ...: each thread's strongest partner
+	// must be its pair mate.
+	for i := 0; i < 8; i += 2 {
+		p, _ := m.Partner(i)
+		if p != i+1 {
+			t.Errorf("partner of %d = %d, want %d", i, p, i+1)
+		}
+	}
+}
+
+func TestCommunicationMatrixDeterministic(t *testing.T) {
+	w, _ := workloads.NewNPB("SP", 8, workloads.ClassTiny)
+	a := CommunicationMatrix(w, 9, 4096)
+	b := CommunicationMatrix(w, 9, 4096)
+	if a.Similarity(b) != 1 || a.Total() != b.Total() {
+		t.Error("same seed should give identical matrices")
+	}
+}
+
+func TestCommunicationMatrixDefaultPageSize(t *testing.T) {
+	w, _ := workloads.NewNPB("CG", 4, workloads.ClassTiny)
+	m := CommunicationMatrix(w, 1, 0) // 0 selects the default
+	if m.N() != 4 {
+		t.Errorf("N = %d", m.N())
+	}
+}
+
+func TestGranularityAffectsVolume(t *testing.T) {
+	w, _ := workloads.NewNPB("SP", 8, workloads.ClassTiny)
+	coarse := CommunicationMatrix(w, 3, 1<<16)
+	fine := CommunicationMatrix(w, 3, 256)
+	// Coarser pages merge more accesses into shared regions, so detected
+	// volume should not be smaller.
+	if coarse.Total() < fine.Total() {
+		t.Errorf("coarse total %g < fine total %g", coarse.Total(), fine.Total())
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	w, _ := workloads.NewNPB("BT", 4, workloads.ClassTiny)
+	pages, accesses := Footprint(w, 2, 4096)
+	if pages == 0 {
+		t.Error("footprint should be positive")
+	}
+	if accesses != w.AccessesPerThread()*4 {
+		t.Errorf("accesses = %d, want %d", accesses, w.AccessesPerThread()*4)
+	}
+}
+
+func TestEPBarelyCommunicates(t *testing.T) {
+	ep, _ := workloads.NewNPB("EP", 8, workloads.ClassTiny)
+	sp, _ := workloads.NewNPB("SP", 8, workloads.ClassTiny)
+	if CommunicationMatrix(ep, 1, 4096).Total()*10 >
+		CommunicationMatrix(sp, 1, 4096).Total() {
+		t.Error("EP should communicate far less than SP")
+	}
+}

@@ -1,0 +1,64 @@
+package vm
+
+import (
+	"testing"
+
+	"spcd/internal/topology"
+)
+
+func TestAllocFirstTouchDefault(t *testing.T) {
+	as := NewAddressSpace(topology.DefaultXeon())
+	if as.AllocPolicy() != AllocFirstTouch {
+		t.Fatalf("default policy = %v", as.AllocPolicy())
+	}
+	as.Access(0, 20, 0x1000, false, 1) // ctx 20 -> node 1
+	if as.NodeOfPage(as.PageOf(0x1000)) != 1 {
+		t.Error("first touch should home on the accessor's node")
+	}
+}
+
+func TestAllocInterleave(t *testing.T) {
+	as := NewAddressSpace(topology.DefaultXeon())
+	as.SetAllocPolicy(AllocInterleave)
+	for i := uint64(0); i < 8; i++ {
+		as.Access(0, 0, i*4096, false, i) // all touched from node 0
+	}
+	nodes := as.NodePages()
+	if nodes[0] != 4 || nodes[1] != 4 {
+		t.Errorf("interleave spread = %v, want [4 4]", nodes)
+	}
+	// Alternating assignment.
+	if as.NodeOfPage(0) == as.NodeOfPage(1) {
+		t.Error("consecutive pages should land on different nodes")
+	}
+}
+
+func TestAllocFixedNode(t *testing.T) {
+	as := NewAddressSpace(topology.DefaultXeon())
+	as.SetAllocPolicy(AllocFixedNode)
+	as.Access(0, 31, 0x1000, false, 1) // ctx 31 is on node 1
+	if as.NodeOfPage(as.PageOf(0x1000)) != 0 {
+		t.Error("fixed-node policy should home on node 0")
+	}
+}
+
+func TestAllocPolicyChangeAffectsOnlyNewPages(t *testing.T) {
+	as := NewAddressSpace(topology.DefaultXeon())
+	as.Access(0, 16, 0x1000, false, 1) // first-touch on node 1
+	as.SetAllocPolicy(AllocFixedNode)
+	as.Access(0, 16, 0x2000, false, 2) // new page: node 0
+	if as.NodeOfPage(as.PageOf(0x1000)) != 1 {
+		t.Error("existing page moved on policy change")
+	}
+	if as.NodeOfPage(as.PageOf(0x2000)) != 0 {
+		t.Error("new page ignored the new policy")
+	}
+}
+
+func TestAllocPolicyString(t *testing.T) {
+	for _, p := range []AllocPolicy{AllocFirstTouch, AllocInterleave, AllocFixedNode, AllocPolicy(9)} {
+		if p.String() == "" {
+			t.Errorf("empty name for policy %d", int(p))
+		}
+	}
+}

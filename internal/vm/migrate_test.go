@@ -1,0 +1,86 @@
+package vm
+
+import (
+	"testing"
+
+	"spcd/internal/topology"
+)
+
+func TestMigratePageMovesNode(t *testing.T) {
+	as := NewAddressSpace(topology.DefaultXeon())
+	as.Access(0, 0, 0x1000, true, 1) // first touch on node 0
+	vpn := as.PageOf(0x1000)
+	if as.NodeOfPage(vpn) != 0 {
+		t.Fatalf("page homed on %d, want 0", as.NodeOfPage(vpn))
+	}
+	if !as.MigratePage(vpn, 1) {
+		t.Fatal("migration should succeed")
+	}
+	if as.NodeOfPage(vpn) != 1 {
+		t.Errorf("page on node %d after migration, want 1", as.NodeOfPage(vpn))
+	}
+	if as.Stats().PageMigrations != 1 {
+		t.Errorf("PageMigrations = %d, want 1", as.Stats().PageMigrations)
+	}
+	nodes := as.NodePages()
+	if nodes[0] != 0 || nodes[1] != 1 {
+		t.Errorf("NodePages = %v, want [0 1]", nodes)
+	}
+}
+
+func TestMigratePageNoOps(t *testing.T) {
+	as := NewAddressSpace(topology.DefaultXeon())
+	if as.MigratePage(42, 1) {
+		t.Error("unmapped page must not migrate")
+	}
+	as.Access(0, 0, 0x1000, true, 1)
+	vpn := as.PageOf(0x1000)
+	if as.MigratePage(vpn, 0) {
+		t.Error("already-local page must not migrate")
+	}
+	if as.MigratePage(vpn, 7) {
+		t.Error("invalid node must not migrate")
+	}
+	if as.MigratePage(vpn, -1) {
+		t.Error("negative node must not migrate")
+	}
+	if as.Stats().PageMigrations != 0 {
+		t.Errorf("PageMigrations = %d, want 0", as.Stats().PageMigrations)
+	}
+}
+
+func TestMigratePageChangesFrameAndShootsTLB(t *testing.T) {
+	as := NewAddressSpace(topology.DefaultXeon())
+	tr1 := as.Access(0, 0, 0x1000, true, 1)
+	vpn := as.PageOf(0x1000)
+	as.MigratePage(vpn, 1)
+	if as.Stats().Shootdowns == 0 {
+		t.Error("migration should shoot down TLB entries")
+	}
+	tr2 := as.Access(0, 0, 0x1000, false, 2)
+	if tr2.Frame == tr1.Frame {
+		t.Error("migration should allocate a new frame (copy)")
+	}
+	if tr2.Faulted {
+		t.Error("migrated page remains present; access should not fault")
+	}
+	if tr2.Node != 1 {
+		t.Errorf("post-migration access node = %d, want 1", tr2.Node)
+	}
+}
+
+func TestMigratePagePresentBitUnaffected(t *testing.T) {
+	as := NewAddressSpace(topology.DefaultXeon())
+	as.Access(0, 0, 0x1000, true, 1)
+	vpn := as.PageOf(0x1000)
+	as.ClearPresent(vpn)
+	as.MigratePage(vpn, 1)
+	if as.Present(vpn) {
+		t.Error("migration must not set the present bit")
+	}
+	// The next access still takes the induced fault.
+	tr := as.Access(1, 2, 0x1000, false, 5)
+	if !tr.Faulted {
+		t.Error("cleared page should fault after migration")
+	}
+}

@@ -1,0 +1,418 @@
+// Package vm simulates the virtual-memory subsystem that the SPCD mechanism
+// hooks into (paper §III). It provides, per parallel application, a page
+// table with present bits, per-hardware-context TLBs, a physical frame
+// allocator with a first-touch NUMA policy, and a fault-handler hook chain.
+//
+// The SPCD detector registers a fault handler exactly like the kernel module
+// modifies the Linux page-fault handler: it observes every fault (thread ID,
+// address, time) and may clear present bits to induce additional faults.
+// Nothing in this package knows about communication detection; it is a pure
+// MMU model.
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spcd/internal/topology"
+)
+
+// FaultType distinguishes why a page fault happened.
+type FaultType int
+
+const (
+	// FaultFirstTouch is a regular demand-paging fault: the page had never
+	// been mapped. The frame is allocated on the faulting context's NUMA
+	// node (first-touch policy, as in Linux).
+	FaultFirstTouch FaultType = iota
+	// FaultInduced is an additional page fault created by clearing the
+	// present bit of a resident page (paper §III-A). It is resolved by
+	// restoring the bit, a constant-time page-table walk.
+	FaultInduced
+)
+
+// String names the fault type.
+func (t FaultType) String() string {
+	if t == FaultFirstTouch {
+		return "first-touch"
+	}
+	return "induced"
+}
+
+// Fault describes one page fault delivered to the handler chain.
+type Fault struct {
+	Thread  int       // application thread that faulted
+	Context int       // hardware context the thread was running on
+	Page    uint64    // virtual page number
+	Addr    uint64    // full faulting virtual address
+	Write   bool      // access type
+	Type    FaultType // demand paging or induced
+	Time    uint64    // simulated time in cycles
+}
+
+// Handler observes page faults. Handlers run synchronously inside the
+// simulated fault path, mirroring the in-kernel hook.
+type Handler func(Fault)
+
+// Costs models the cycle cost of MMU events. The derived execution-time
+// overhead of SPCD (Fig. 16) comes from these constants times the event
+// counts.
+type Costs struct {
+	TLBMiss         int // page-table walk on a TLB miss, page present
+	FirstTouchFault int // kernel entry + frame allocation + mapping
+	InducedFault    int // kernel entry + present-bit restore (fast path)
+}
+
+// DefaultCosts are rough x86-64 figures: a hardware walk of a 4-level table,
+// and two kernel round-trips of different weights (the induced-fault path is
+// the fast restore of Fig. 2, the first-touch path allocates and zeroes).
+func DefaultCosts() Costs {
+	return Costs{TLBMiss: 40, FirstTouchFault: 800, InducedFault: 1000}
+}
+
+// Stats counts MMU activity.
+type Stats struct {
+	Accesses         uint64 // translations requested
+	TLBHits          uint64
+	TLBMisses        uint64
+	FirstTouchFaults uint64
+	InducedFaults    uint64
+	PresentCleared   uint64 // present bits cleared (sampler activity)
+	Shootdowns       uint64 // TLB entries invalidated by ClearPresent
+	PageMigrations   uint64 // pages moved between NUMA nodes
+}
+
+// TotalFaults returns all faults taken.
+func (s Stats) TotalFaults() uint64 { return s.FirstTouchFaults + s.InducedFaults }
+
+// pte is a page-table entry.
+type pte struct {
+	frame   int64
+	node    int8
+	present bool
+}
+
+// tlbSize is the number of direct-mapped entries per context TLB. Real TLBs
+// are set-associative; a direct-mapped model keeps the common-case lookup a
+// single array access while still producing realistic miss behaviour.
+const tlbSize = 256
+
+type tlbEntry struct {
+	vpn   uint64
+	valid bool
+}
+
+// AllocPolicy selects how newly touched pages are homed on NUMA nodes,
+// mirroring the mempolicy modes Linux exposes through numactl.
+type AllocPolicy int
+
+const (
+	// AllocFirstTouch homes each page on the faulting context's node (the
+	// Linux default, and the paper's setting).
+	AllocFirstTouch AllocPolicy = iota
+	// AllocInterleave distributes pages round-robin across nodes
+	// (numactl --interleave), trading locality for bandwidth balance.
+	AllocInterleave
+	// AllocFixedNode homes every page on node 0 (numactl --membind 0).
+	AllocFixedNode
+)
+
+// String names the policy.
+func (p AllocPolicy) String() string {
+	switch p {
+	case AllocFirstTouch:
+		return "first-touch"
+	case AllocInterleave:
+		return "interleave"
+	case AllocFixedNode:
+		return "fixed-node"
+	}
+	return fmt.Sprintf("AllocPolicy(%d)", int(p))
+}
+
+// AddressSpace is the page table and TLB state of one parallel application.
+type AddressSpace struct {
+	mach      *topology.Machine
+	pageShift uint
+	costs     Costs
+	alloc     AllocPolicy
+	nextRR    int // round-robin cursor for AllocInterleave
+
+	pages map[uint64]*pte
+	// resident lists present pages for O(1) uniform sampling by the SPCD
+	// sampler thread; residentIdx maps vpn -> index in resident.
+	resident    []uint64
+	residentIdx map[uint64]int
+
+	tlbs [][]tlbEntry // per hardware context
+
+	handlers []Handler
+
+	nextFrame int64
+	nodePages []uint64 // frames allocated per NUMA node
+	stats     Stats
+}
+
+// NewAddressSpace creates the MMU state for one application on machine m.
+func NewAddressSpace(m *topology.Machine) *AddressSpace {
+	shift := uint(0)
+	for 1<<shift != m.PageSize {
+		shift++
+	}
+	as := &AddressSpace{
+		mach:        m,
+		pageShift:   shift,
+		costs:       DefaultCosts(),
+		pages:       make(map[uint64]*pte),
+		residentIdx: make(map[uint64]int),
+		tlbs:        make([][]tlbEntry, m.NumContexts()),
+		nodePages:   make([]uint64, m.NumNodes()),
+	}
+	for i := range as.tlbs {
+		as.tlbs[i] = make([]tlbEntry, tlbSize)
+	}
+	return as
+}
+
+// SetCosts overrides the MMU cost model.
+func (as *AddressSpace) SetCosts(c Costs) { as.costs = c }
+
+// SetAllocPolicy selects the NUMA homing policy for pages touched from now
+// on; already-homed pages stay where they are (like a mempolicy change).
+func (as *AddressSpace) SetAllocPolicy(p AllocPolicy) { as.alloc = p }
+
+// AllocPolicy returns the active homing policy.
+func (as *AddressSpace) AllocPolicy() AllocPolicy { return as.alloc }
+
+// homeNode picks the NUMA node for a new page touched from context ctx.
+func (as *AddressSpace) homeNode(ctx int) int {
+	switch as.alloc {
+	case AllocInterleave:
+		node := as.nextRR
+		as.nextRR = (as.nextRR + 1) % as.mach.NumNodes()
+		return node
+	case AllocFixedNode:
+		return 0
+	default:
+		return as.mach.NodeOf(ctx)
+	}
+}
+
+// Costs returns the active cost model.
+func (as *AddressSpace) Costs() Costs { return as.costs }
+
+// PageShift returns log2 of the page size.
+func (as *AddressSpace) PageShift() uint { return as.pageShift }
+
+// PageOf returns the virtual page number of addr.
+func (as *AddressSpace) PageOf(addr uint64) uint64 { return addr >> as.pageShift }
+
+// AddHandler appends h to the fault-handler chain. Handlers run in
+// registration order on every fault.
+func (as *AddressSpace) AddHandler(h Handler) { as.handlers = append(as.handlers, h) }
+
+// Stats returns a copy of the counters.
+func (as *AddressSpace) Stats() Stats { return as.stats }
+
+// ResidentPages returns the number of mapped, present pages.
+func (as *AddressSpace) ResidentPages() int { return len(as.resident) }
+
+// NodePages returns how many pages are homed on each NUMA node, which the
+// engine uses to attribute DRAM accesses and energy.
+func (as *AddressSpace) NodePages() []uint64 {
+	return append([]uint64(nil), as.nodePages...)
+}
+
+// Translation is the result of a memory access through the MMU.
+type Translation struct {
+	Frame   int64 // physical frame
+	Node    int   // NUMA node homing the frame
+	Cycles  int   // MMU-induced extra cycles (TLB miss, faults)
+	Faulted bool  // a page fault was taken
+}
+
+// Access translates a memory access by thread (running on context ctx) to
+// virtual address addr at simulated time now. It performs TLB lookup, page
+// walk, demand paging with first-touch placement, and delivers faults to
+// the handler chain. The returned cycles are the MMU overhead only; cache
+// and DRAM latency are the cache simulator's business.
+func (as *AddressSpace) Access(thread, ctx int, addr uint64, write bool, now uint64) Translation {
+	as.stats.Accesses++
+	vpn := addr >> as.pageShift
+	t := &as.tlbs[ctx][vpn%tlbSize]
+	entry := as.pages[vpn]
+	if t.valid && t.vpn == vpn && entry != nil && entry.present {
+		as.stats.TLBHits++
+		return Translation{Frame: entry.frame, Node: int(entry.node)}
+	}
+	as.stats.TLBMisses++
+	cycles := as.costs.TLBMiss
+	faulted := false
+	if entry == nil {
+		// Demand-paging fault: allocate per the active NUMA policy.
+		node := as.homeNode(ctx)
+		entry = &pte{frame: as.nextFrame, node: int8(node), present: true}
+		as.nextFrame++
+		as.nodePages[node]++
+		as.pages[vpn] = entry
+		as.addResident(vpn)
+		as.stats.FirstTouchFaults++
+		cycles += as.costs.FirstTouchFault
+		faulted = true
+		as.fireFault(Fault{Thread: thread, Context: ctx, Page: vpn, Addr: addr,
+			Write: write, Type: FaultFirstTouch, Time: now})
+	} else if !entry.present {
+		// Induced fault: restore the present bit and return to the
+		// application (paper Fig. 2, gray boxes).
+		entry.present = true
+		as.addResident(vpn)
+		as.stats.InducedFaults++
+		cycles += as.costs.InducedFault
+		faulted = true
+		as.fireFault(Fault{Thread: thread, Context: ctx, Page: vpn, Addr: addr,
+			Write: write, Type: FaultInduced, Time: now})
+	}
+	t.vpn = vpn
+	t.valid = true
+	return Translation{Frame: entry.frame, Node: int(entry.node), Cycles: cycles, Faulted: faulted}
+}
+
+func (as *AddressSpace) fireFault(f Fault) {
+	for _, h := range as.handlers {
+		h(f)
+	}
+}
+
+func (as *AddressSpace) addResident(vpn uint64) {
+	if _, ok := as.residentIdx[vpn]; ok {
+		return
+	}
+	as.residentIdx[vpn] = len(as.resident)
+	as.resident = append(as.resident, vpn)
+}
+
+func (as *AddressSpace) removeResident(vpn uint64) {
+	idx, ok := as.residentIdx[vpn]
+	if !ok {
+		return
+	}
+	last := len(as.resident) - 1
+	moved := as.resident[last]
+	as.resident[idx] = moved
+	as.residentIdx[moved] = idx
+	as.resident = as.resident[:last]
+	delete(as.residentIdx, vpn)
+}
+
+// ClearPresent clears the present bit of page vpn and shoots down the TLB
+// entry on every context, so the next access faults. It reports whether the
+// page was present. This is the primitive the SPCD sampler thread uses to
+// create additional page faults (paper §III-B2).
+func (as *AddressSpace) ClearPresent(vpn uint64) bool {
+	entry := as.pages[vpn]
+	if entry == nil || !entry.present {
+		return false
+	}
+	entry.present = false
+	as.removeResident(vpn)
+	as.stats.PresentCleared++
+	for ctx := range as.tlbs {
+		t := &as.tlbs[ctx][vpn%tlbSize]
+		if t.valid && t.vpn == vpn {
+			t.valid = false
+			as.stats.Shootdowns++
+		}
+	}
+	return true
+}
+
+// SampleResident picks up to k distinct resident pages uniformly at random
+// using rng. The sampler thread combines this with ClearPresent.
+func (as *AddressSpace) SampleResident(rng *rand.Rand, k int) []uint64 {
+	n := len(as.resident)
+	if k >= n {
+		return append([]uint64(nil), as.resident...)
+	}
+	out := make([]uint64, 0, k)
+	// Partial Fisher-Yates over a copy-free index trick: sample indices
+	// without replacement by swapping into the tail of a scratch view.
+	// To keep the resident list intact we sample indices via a map.
+	seen := make(map[int]int, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		vj, ok := seen[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := seen[i]
+		if !ok {
+			vi = i
+		}
+		seen[j] = vi
+		out = append(out, as.resident[vj])
+	}
+	return out
+}
+
+// TLBPages appends the virtual page numbers currently cached in context
+// ctx's TLB to out and returns it. The TLB-based detection mechanism of the
+// authors' earlier work (Cruz et al., IPDPS 2012 — the paper's ref. [22])
+// periodically compares TLB contents across cores to find shared pages;
+// this accessor is the hardware hook that mechanism needs.
+func (as *AddressSpace) TLBPages(ctx int, out []uint64) []uint64 {
+	for _, e := range as.tlbs[ctx] {
+		if e.valid {
+			out = append(out, e.vpn)
+		}
+	}
+	return out
+}
+
+// TLBSize returns the number of TLB entries per hardware context.
+func (as *AddressSpace) TLBSize() int { return tlbSize }
+
+// MigratePage moves page vpn to NUMA node, modeling the kernel's page
+// migration (copy to a frame on the target node, remap, TLB shootdown). It
+// reports whether a migration happened (false if unmapped or already
+// there). The frame number changes, so physically indexed caches naturally
+// treat the moved page as cold.
+func (as *AddressSpace) MigratePage(vpn uint64, node int) bool {
+	entry := as.pages[vpn]
+	if entry == nil || int(entry.node) == node || node < 0 || node >= as.mach.NumNodes() {
+		return false
+	}
+	as.nodePages[entry.node]--
+	as.nodePages[node]++
+	entry.node = int8(node)
+	entry.frame = as.nextFrame
+	as.nextFrame++
+	as.stats.PageMigrations++
+	for ctx := range as.tlbs {
+		t := &as.tlbs[ctx][vpn%tlbSize]
+		if t.valid && t.vpn == vpn {
+			t.valid = false
+			as.stats.Shootdowns++
+		}
+	}
+	return true
+}
+
+// Present reports whether page vpn is mapped and present.
+func (as *AddressSpace) Present(vpn uint64) bool {
+	e := as.pages[vpn]
+	return e != nil && e.present
+}
+
+// NodeOfPage returns the NUMA node homing page vpn, or -1 if unmapped.
+func (as *AddressSpace) NodeOfPage(vpn uint64) int {
+	if e := as.pages[vpn]; e != nil {
+		return int(e.node)
+	}
+	return -1
+}
+
+// String summarizes the address space.
+func (as *AddressSpace) String() string {
+	return fmt.Sprintf("vm: %d pages mapped, %d resident, %d faults (%d induced)",
+		len(as.pages), len(as.resident), as.stats.TotalFaults(), as.stats.InducedFaults)
+}

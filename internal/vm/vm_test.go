@@ -1,0 +1,307 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spcd/internal/topology"
+)
+
+func newAS(t *testing.T) *AddressSpace {
+	t.Helper()
+	return NewAddressSpace(topology.DefaultXeon())
+}
+
+func TestFirstTouchFault(t *testing.T) {
+	as := newAS(t)
+	var faults []Fault
+	as.AddHandler(func(f Fault) { faults = append(faults, f) })
+
+	tr := as.Access(3, 5, 0x12345, true, 100)
+	if !tr.Faulted {
+		t.Fatal("first access should fault")
+	}
+	if tr.Cycles < DefaultCosts().FirstTouchFault {
+		t.Errorf("fault cost %d too low", tr.Cycles)
+	}
+	if len(faults) != 1 {
+		t.Fatalf("handler saw %d faults, want 1", len(faults))
+	}
+	f := faults[0]
+	if f.Thread != 3 || f.Context != 5 || f.Type != FaultFirstTouch ||
+		f.Page != 0x12345>>12 || f.Addr != 0x12345 || !f.Write || f.Time != 100 {
+		t.Errorf("fault = %+v", f)
+	}
+}
+
+func TestFirstTouchNUMAPlacement(t *testing.T) {
+	as := newAS(t)
+	// Context 0 is on node 0, context 31 on node 1.
+	tr0 := as.Access(0, 0, 0x1000, false, 1)
+	tr1 := as.Access(1, 31, 0x2000, false, 2)
+	if tr0.Node != 0 {
+		t.Errorf("page touched from node 0 homed on %d", tr0.Node)
+	}
+	if tr1.Node != 1 {
+		t.Errorf("page touched from node 1 homed on %d", tr1.Node)
+	}
+	nodes := as.NodePages()
+	if nodes[0] != 1 || nodes[1] != 1 {
+		t.Errorf("NodePages = %v", nodes)
+	}
+}
+
+func TestSecondAccessHitsTLB(t *testing.T) {
+	as := newAS(t)
+	as.Access(0, 0, 0x1000, false, 1)
+	tr := as.Access(0, 0, 0x1008, false, 2) // same page, different offset
+	if tr.Faulted || tr.Cycles != 0 {
+		t.Errorf("expected TLB hit, got %+v", tr)
+	}
+	st := as.Stats()
+	if st.TLBHits != 1 || st.TLBMisses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTLBPerContext(t *testing.T) {
+	as := newAS(t)
+	as.Access(0, 0, 0x1000, false, 1)
+	tr := as.Access(1, 1, 0x1000, false, 2) // other context: TLB cold
+	if tr.Faulted {
+		t.Error("page already mapped; no fault expected")
+	}
+	if tr.Cycles != DefaultCosts().TLBMiss {
+		t.Errorf("expected TLB-miss walk cost, got %d", tr.Cycles)
+	}
+}
+
+func TestClearPresentInducesFault(t *testing.T) {
+	as := newAS(t)
+	var faults []Fault
+	as.AddHandler(func(f Fault) { faults = append(faults, f) })
+	as.Access(0, 0, 0x5000, false, 1)
+	vpn := as.PageOf(0x5000)
+	if !as.ClearPresent(vpn) {
+		t.Fatal("ClearPresent on resident page should succeed")
+	}
+	if as.Present(vpn) {
+		t.Error("page should not be present after clear")
+	}
+	tr := as.Access(7, 20, 0x5004, true, 50)
+	if !tr.Faulted {
+		t.Fatal("access after ClearPresent should fault")
+	}
+	if len(faults) != 2 || faults[1].Type != FaultInduced {
+		t.Fatalf("faults = %+v", faults)
+	}
+	if faults[1].Thread != 7 {
+		t.Errorf("induced fault thread = %d", faults[1].Thread)
+	}
+	if !as.Present(vpn) {
+		t.Error("present bit should be restored by the fault")
+	}
+	// The frame and node must be unchanged: induced faults do not migrate.
+	if tr.Node != 0 {
+		t.Errorf("node changed to %d on induced fault", tr.Node)
+	}
+}
+
+func TestClearPresentShootsDownTLB(t *testing.T) {
+	as := newAS(t)
+	as.Access(0, 0, 0x7000, false, 1)
+	as.Access(0, 3, 0x7000, false, 2)
+	vpn := as.PageOf(0x7000)
+	as.ClearPresent(vpn)
+	if got := as.Stats().Shootdowns; got != 2 {
+		t.Errorf("shootdowns = %d, want 2", got)
+	}
+	// Without shootdown this would be a stale TLB hit and never fault.
+	tr := as.Access(0, 0, 0x7000, false, 3)
+	if !tr.Faulted {
+		t.Error("stale TLB entry survived shootdown")
+	}
+}
+
+func TestClearPresentOnUnmapped(t *testing.T) {
+	as := newAS(t)
+	if as.ClearPresent(0x9999) {
+		t.Error("ClearPresent on unmapped page should report false")
+	}
+	as.Access(0, 0, 0x1000, false, 1)
+	vpn := as.PageOf(0x1000)
+	as.ClearPresent(vpn)
+	if as.ClearPresent(vpn) {
+		t.Error("double clear should report false")
+	}
+}
+
+func TestResidentTracking(t *testing.T) {
+	as := newAS(t)
+	for i := uint64(0); i < 10; i++ {
+		as.Access(0, 0, i*4096, false, i)
+	}
+	if as.ResidentPages() != 10 {
+		t.Fatalf("resident = %d, want 10", as.ResidentPages())
+	}
+	as.ClearPresent(3)
+	as.ClearPresent(7)
+	if as.ResidentPages() != 8 {
+		t.Fatalf("resident after clears = %d, want 8", as.ResidentPages())
+	}
+	// Touch one of them again.
+	as.Access(1, 2, 3*4096, false, 100)
+	if as.ResidentPages() != 9 {
+		t.Fatalf("resident after refault = %d, want 9", as.ResidentPages())
+	}
+}
+
+func TestSampleResident(t *testing.T) {
+	as := newAS(t)
+	for i := uint64(0); i < 100; i++ {
+		as.Access(0, 0, i*4096, false, i)
+	}
+	rng := rand.New(rand.NewSource(1))
+	got := as.SampleResident(rng, 10)
+	if len(got) != 10 {
+		t.Fatalf("sample size = %d", len(got))
+	}
+	seen := map[uint64]bool{}
+	for _, vpn := range got {
+		if vpn >= 100 {
+			t.Errorf("sampled non-existent page %d", vpn)
+		}
+		if seen[vpn] {
+			t.Errorf("page %d sampled twice", vpn)
+		}
+		seen[vpn] = true
+	}
+	// Requesting more than resident returns everything.
+	all := as.SampleResident(rng, 1000)
+	if len(all) != 100 {
+		t.Errorf("oversized sample = %d, want 100", len(all))
+	}
+}
+
+func TestSampleResidentUniformity(t *testing.T) {
+	as := newAS(t)
+	const pages = 50
+	for i := uint64(0); i < pages; i++ {
+		as.Access(0, 0, i*4096, false, i)
+	}
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, pages)
+	for trial := 0; trial < 2000; trial++ {
+		for _, vpn := range as.SampleResident(rng, 5) {
+			counts[vpn]++
+		}
+	}
+	// Expected 200 hits per page; fail only on gross non-uniformity.
+	for vpn, c := range counts {
+		if c < 100 || c > 320 {
+			t.Errorf("page %d sampled %d times, expected ~200", vpn, c)
+		}
+	}
+}
+
+func TestHandlersRunInOrder(t *testing.T) {
+	as := newAS(t)
+	var order []int
+	as.AddHandler(func(Fault) { order = append(order, 1) })
+	as.AddHandler(func(Fault) { order = append(order, 2) })
+	as.Access(0, 0, 0x1000, false, 1)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestNodeOfPage(t *testing.T) {
+	as := newAS(t)
+	if as.NodeOfPage(5) != -1 {
+		t.Error("unmapped page should report node -1")
+	}
+	as.Access(0, 16, 0x3000, false, 1) // context 16 = node 1
+	if as.NodeOfPage(as.PageOf(0x3000)) != 1 {
+		t.Error("page should be homed on node 1")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	as := newAS(t)
+	for i := uint64(0); i < 5; i++ {
+		as.Access(0, 0, i*4096, false, i)
+	}
+	as.ClearPresent(0)
+	as.Access(0, 0, 0, false, 10)
+	st := as.Stats()
+	if st.FirstTouchFaults != 5 {
+		t.Errorf("FirstTouchFaults = %d", st.FirstTouchFaults)
+	}
+	if st.InducedFaults != 1 {
+		t.Errorf("InducedFaults = %d", st.InducedFaults)
+	}
+	if st.TotalFaults() != 6 {
+		t.Errorf("TotalFaults = %d", st.TotalFaults())
+	}
+	if st.PresentCleared != 1 {
+		t.Errorf("PresentCleared = %d", st.PresentCleared)
+	}
+	if st.Accesses != 6 {
+		t.Errorf("Accesses = %d", st.Accesses)
+	}
+}
+
+// Property: a page is present after any Access touching it, and the node a
+// page is homed on never changes once allocated.
+func TestFrameStabilityProperty(t *testing.T) {
+	as := newAS(t)
+	firstNode := map[uint64]int{}
+	f := func(ops []struct {
+		Ctx  uint8
+		Page uint8
+		Clr  bool
+	}) bool {
+		for _, op := range ops {
+			ctx := int(op.Ctx) % 32
+			vpn := uint64(op.Page)
+			if op.Clr {
+				as.ClearPresent(vpn)
+				continue
+			}
+			tr := as.Access(0, ctx, vpn<<12, false, 1)
+			if !as.Present(vpn) {
+				return false
+			}
+			if n, ok := firstNode[vpn]; ok {
+				if tr.Node != n {
+					return false
+				}
+			} else {
+				firstNode[vpn] = tr.Node
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetCosts(t *testing.T) {
+	as := newAS(t)
+	as.SetCosts(Costs{TLBMiss: 1, FirstTouchFault: 10, InducedFault: 5})
+	tr := as.Access(0, 0, 0x1000, false, 1)
+	if tr.Cycles != 11 {
+		t.Errorf("cycles = %d, want 11", tr.Cycles)
+	}
+	if as.Costs().InducedFault != 5 {
+		t.Error("Costs not updated")
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	if newAS(t).String() == "" {
+		t.Error("String should summarize state")
+	}
+}

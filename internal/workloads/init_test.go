@@ -1,0 +1,116 @@
+package workloads
+
+import "testing"
+
+func drainInit(r Run) []InitAccess {
+	init, ok := r.(Initializer)
+	if !ok {
+		return nil
+	}
+	var out []InitAccess
+	buf := make([]InitAccess, 128)
+	for {
+		n := init.NextInit(buf)
+		if n == 0 {
+			return out
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+func TestNPBInitIsMasterThread(t *testing.T) {
+	w, _ := NewNPB("SP", 8, ClassTest)
+	init := drainInit(w.NewRun(1))
+	if len(init) == 0 {
+		t.Fatal("NPB kernels must have an init phase")
+	}
+	for _, a := range init {
+		if a.Thread != 0 {
+			t.Fatalf("NPB init access attributed to thread %d, want 0", a.Thread)
+		}
+		if !a.Write {
+			t.Fatal("init accesses should be writes")
+		}
+	}
+}
+
+func TestNPBInitCoversFootprint(t *testing.T) {
+	w, _ := NewNPB("SP", 8, ClassTest)
+	r := w.NewRun(1)
+	initPages := map[uint64]bool{}
+	for _, a := range drainInit(r) {
+		initPages[a.Addr/PageBytes] = true
+	}
+	// Every page the app touches later must have been initialized.
+	missing := 0
+	buf := make([]Access, 256)
+	for th := 0; th < 8; th++ {
+		for {
+			n := r.Next(th, buf)
+			if n == 0 {
+				break
+			}
+			for _, a := range buf[:n] {
+				if !initPages[a.Addr/PageBytes] {
+					missing++
+				}
+			}
+		}
+	}
+	if missing > 0 {
+		t.Errorf("%d app accesses hit pages the init sweep did not touch", missing)
+	}
+}
+
+func TestNPBInitTouchesEachPageOnce(t *testing.T) {
+	w, _ := NewNPB("BT", 8, ClassTest)
+	seen := map[uint64]int{}
+	for _, a := range drainInit(w.NewRun(1)) {
+		seen[a.Addr/PageBytes]++
+	}
+	for page, n := range seen {
+		if n != 1 {
+			t.Fatalf("page %d initialized %d times", page, n)
+		}
+	}
+}
+
+func TestPCInitOwnedByProducers(t *testing.T) {
+	p, err := NewProducerConsumer(8, ClassTest, 2, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := drainInit(p.NewRun(1))
+	if len(init) == 0 {
+		t.Fatal("producer/consumer must have an init phase")
+	}
+	sawNonZero := false
+	for _, a := range init {
+		if a.Thread != 0 {
+			sawNonZero = true
+		}
+		if a.Addr >= pairBase && a.Addr < privateBase && a.Thread%2 != 0 {
+			t.Fatalf("shared vector initialized by consumer thread %d", a.Thread)
+		}
+	}
+	if !sawNonZero {
+		t.Error("private regions should be initialized by their owners, not only thread 0")
+	}
+}
+
+func TestRegionStridePadding(t *testing.T) {
+	if got := regionStrideFor(1); got != RegionStride {
+		t.Errorf("regionStrideFor(1) = %d, want %d", got, RegionStride)
+	}
+	if got := regionStrideFor(RegionStride); got != RegionStride {
+		t.Errorf("exact multiple should not grow: %d", got)
+	}
+	if got := regionStrideFor(RegionStride + 1); got != 2*RegionStride {
+		t.Errorf("regionStrideFor(stride+1) = %d, want %d", got, 2*RegionStride)
+	}
+	// Adjacent private regions never overlap even for large footprints.
+	bytes := uint64(3 * RegionStride / 2)
+	if privateRegion(1, bytes)-privateRegion(0, bytes) < bytes {
+		t.Error("private regions overlap")
+	}
+}

@@ -1,0 +1,100 @@
+package workloads
+
+import "testing"
+
+func TestParsecConstructAll(t *testing.T) {
+	for _, name := range ParsecNames {
+		w, err := NewParsec(name, 32, ClassTiny)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w.Name() != name || w.NumThreads() != 32 || w.AccessesPerThread() == 0 {
+			t.Errorf("%s: identity wrong", name)
+		}
+	}
+	if _, err := NewParsec("nope", 32, ClassTiny); err == nil {
+		t.Error("unknown kernel should error")
+	}
+}
+
+func TestStagePipelineStructure(t *testing.T) {
+	g := StagePipeline(4)
+	const n = 16 // stages of 4 threads
+	stageOf := func(t int) int { return t * 4 / n }
+	for th := 0; th < n; th++ {
+		peers := g(th, n)
+		if len(peers) == 0 {
+			t.Fatalf("thread %d has no peers", th)
+		}
+		s := stageOf(th)
+		total := 0.0
+		for _, pw := range peers {
+			ps := stageOf(pw.Peer)
+			if ps != s-1 && ps != s+1 {
+				t.Fatalf("thread %d (stage %d) linked to stage %d", th, s, ps)
+			}
+			total += pw.Weight
+		}
+		if total < 0.99 || total > 1.01 {
+			t.Errorf("thread %d peer weights sum to %g, want 1", th, total)
+		}
+	}
+	// Degenerate shapes.
+	if StagePipeline(1)(0, 8) != nil {
+		t.Error("single stage should have no graph")
+	}
+	if StagePipeline(8)(0, 4) != nil {
+		t.Error("more stages than threads should have no graph")
+	}
+}
+
+func TestParsecPatternClasses(t *testing.T) {
+	// Structured kernels must be more heterogeneous than streamcluster's
+	// all-to-all pattern.
+	het := map[string]float64{}
+	for _, name := range ParsecNames {
+		w, err := NewParsec(name, 32, ClassTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		het[name] = groundTruth(w, 3).Heterogeneity()
+	}
+	for _, structured := range []string{"dedup", "ferret", "fluidanimate", "x264"} {
+		if het[structured] <= het["streamcluster"] {
+			t.Errorf("%s (%.2f) should be more heterogeneous than streamcluster (%.2f)",
+				structured, het[structured], het["streamcluster"])
+		}
+	}
+}
+
+func TestParsecDeterministic(t *testing.T) {
+	w, _ := NewParsec("dedup", 8, ClassTest)
+	a := drain(w.NewRun(5), 2)
+	b := drain(w.NewRun(5), 2)
+	if len(a) != len(b) {
+		t.Fatal("stream lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("streams differ for same seed")
+		}
+	}
+}
+
+func TestParsecMappingHelpsPipelines(t *testing.T) {
+	// Stage pipelines have group-structured communication: a
+	// communication-aware mapping should beat a scatter placement on the
+	// ground-truth cost metric. (Full-run performance checks live in the
+	// policy tests; this validates the workload's structure.)
+	w, err := NewParsec("ferret", 32, ClassTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := groundTruth(w, 7)
+	if truth.Total() == 0 {
+		t.Fatal("ferret should communicate")
+	}
+	if truth.Heterogeneity() < 0.3 {
+		t.Errorf("pipeline heterogeneity = %.2f, want structured", truth.Heterogeneity())
+	}
+}

@@ -1,0 +1,275 @@
+// Package workloads provides the parallel applications driven through the
+// simulator: a producer/consumer benchmark with two communication phases
+// (paper §V-B, Fig. 5) and synthetic stand-ins for the ten OpenMP NAS
+// Parallel Benchmarks (§V-C). The NPB substitutes reproduce each kernel's
+// *communication structure* — which thread pairs share memory and how much —
+// rather than its arithmetic, which is what communication-based mapping
+// responds to (see DESIGN.md for the substitution argument).
+//
+// A Workload describes the application; NewRun instantiates deterministic
+// per-thread access streams for one execution. Streams depend only on
+// (seed, thread), never on scheduling, so the oracle mapping can replay a
+// run's exact accesses offline.
+package workloads
+
+import "math/rand"
+
+// Access is one memory reference issued by a thread.
+type Access struct {
+	Addr  uint64
+	Write bool
+}
+
+// NominalAccessCycles is the calibrated average cost of one access on the
+// default machine (compute gap plus the observed cache/DRAM latency mix at
+// realistic reuse). Policy periods and engine ticks are scaled from it; it
+// only needs to be the right order of magnitude.
+const NominalAccessCycles = 40
+
+// NominalCycles estimates a run's duration for period-scaling purposes.
+// It deliberately ignores placement effects so every policy uses identical
+// periods.
+func NominalCycles(w Workload) uint64 {
+	return w.AccessesPerThread() * (uint64(w.ComputeCyclesPerAccess()) + NominalAccessCycles)
+}
+
+// Run generates the access streams of one execution of a workload.
+type Run interface {
+	// Next fills buf with the next accesses of thread t and returns how
+	// many were produced; 0 means the thread has finished its work.
+	Next(thread int, buf []Access) int
+}
+
+// InitAccess is one access of the initialization phase, attributed to the
+// thread that performs it.
+type InitAccess struct {
+	Thread int
+	Access
+}
+
+// Initializer is an optional Run extension: NextInit produces the accesses
+// of an initialization phase executed before the parallel main loop starts
+// (the engine models the implicit barrier). NPB-OpenMP kernels of the
+// paper's era initialize their arrays in the master thread, which homes the
+// data pages on one NUMA node via first touch; this is why the paper's
+// thread mapping improves cache communication without moving data (§IV
+// mentions data mapping only as a possible extension). Workloads whose
+// buffers are naturally initialized by their owners (the producer/consumer
+// benchmark) attribute init accesses to those threads instead.
+type Initializer interface {
+	NextInit(buf []InitAccess) int
+}
+
+// Workload is a parallel application the engine can execute.
+type Workload interface {
+	Name() string
+	NumThreads() int
+	// AccessesPerThread is the total work of each thread, in memory
+	// accesses. Execution time is determined by how fast the placement
+	// lets threads retire these accesses.
+	AccessesPerThread() uint64
+	// ComputeCyclesPerAccess is the fixed computation between two memory
+	// accesses of one thread (the non-memory IPC component).
+	ComputeCyclesPerAccess() int
+	// NewRun creates fresh deterministic access streams for one run.
+	NewRun(seed int64) Run
+}
+
+// Virtual address space layout shared by all workloads. Regions are spaced
+// far apart so they can grow without overlapping, and logically distinct
+// regions are padded to RegionStride so that communication detection at
+// granularities coarser than a page (§III-C1) never merges unrelated data.
+// Real allocators separate large data structures similarly; padding costs
+// nothing because pages are only instantiated on first touch.
+const (
+	globalBase  = uint64(0)
+	pairBase    = uint64(1) << 32
+	privateBase = uint64(1) << 40
+
+	// PageBytes is the layout granularity; it matches the default machine
+	// page size so footprint knobs are expressed in pages.
+	PageBytes = 4096
+
+	// RegionStride separates logically distinct regions (1 MByte).
+	RegionStride = uint64(1) << 20
+)
+
+// regionStrideFor pads a region size up to a multiple of RegionStride.
+func regionStrideFor(bytes uint64) uint64 {
+	n := (bytes + RegionStride - 1) / RegionStride
+	if n == 0 {
+		n = 1
+	}
+	return n * RegionStride
+}
+
+// pairRegion returns the base address of the shared region of thread pair
+// (i, j), i != j. The region is symmetric in i and j.
+func pairRegion(i, j, n int, bytes uint64) uint64 {
+	if i > j {
+		i, j = j, i
+	}
+	idx := uint64(i*n + j)
+	return pairBase + idx*regionStrideFor(bytes)
+}
+
+// privateRegion returns the base address of thread t's private region.
+func privateRegion(t int, bytes uint64) uint64 {
+	return privateBase + uint64(t)*regionStrideFor(bytes)
+}
+
+// cursor walks a memory region with mostly-sequential line-sized steps and
+// occasional jumps, giving realistic spatial locality while still touching
+// every page of the region over time.
+type cursor struct {
+	base  uint64
+	size  uint64
+	pos   uint64
+	lines uint64
+}
+
+func newCursor(base, size uint64) cursor {
+	return cursor{base: base, size: size}
+}
+
+// next returns the next address. rng drives occasional random jumps.
+func (c *cursor) next(rng *rand.Rand) uint64 {
+	if c.size == 0 {
+		return c.base
+	}
+	c.lines++
+	if c.lines%37 == 0 { // periodic jump to a random line
+		c.pos = uint64(rng.Int63n(int64(c.size))) &^ 63
+	} else {
+		c.pos += 64
+		if c.pos >= c.size {
+			c.pos = 0
+		}
+	}
+	// Offset within the line so sub-page detection granularities see
+	// realistic addresses.
+	off := uint64(rng.Intn(8)) * 8
+	addr := c.base + c.pos + off
+	if addr >= c.base+c.size {
+		addr = c.base
+	}
+	return addr
+}
+
+// PeerWeight gives the relative communication intensity between a thread
+// and one peer; the kernel generators draw communication partners from this
+// distribution.
+type PeerWeight struct {
+	Peer   int
+	Weight float64
+}
+
+// CommGraph defines a workload's communication structure: the weighted
+// peers of thread t out of n threads. Nil or empty means the thread does
+// not communicate through pair regions.
+type CommGraph func(t, n int) []PeerWeight
+
+// Ring1D links each thread to its two ring neighbours with equal weight.
+func Ring1D(t, n int) []PeerWeight {
+	if n < 2 {
+		return nil
+	}
+	return []PeerWeight{
+		{Peer: (t + 1) % n, Weight: 1},
+		{Peer: (t - 1 + n) % n, Weight: 1},
+	}
+}
+
+// Grid2D links threads arranged row-major in a rows x cols grid to their
+// four von Neumann neighbours, the classic domain-decomposition pattern of
+// BT, SP and LU. Exchange along the row (the unit-stride pencil direction)
+// carries several times the volume of the column direction, as in the real
+// kernels where the contiguous boundary faces are much larger.
+func Grid2D(rows, cols int) CommGraph {
+	const (
+		rowWeight = 2.0
+		colWeight = 0.6
+	)
+	return func(t, n int) []PeerWeight {
+		if t >= rows*cols {
+			return nil
+		}
+		r, c := t/cols, t%cols
+		var out []PeerWeight
+		if c+1 < cols {
+			out = append(out, PeerWeight{Peer: t + 1, Weight: rowWeight})
+		}
+		if c > 0 {
+			out = append(out, PeerWeight{Peer: t - 1, Weight: rowWeight})
+		}
+		if r+1 < rows {
+			out = append(out, PeerWeight{Peer: t + cols, Weight: colWeight})
+		}
+		if r > 0 {
+			out = append(out, PeerWeight{Peer: t - cols, Weight: colWeight})
+		}
+		return out
+	}
+}
+
+// Multigrid links ring neighbours plus exponentially more distant partners
+// with geometrically decreasing weight, like the level hierarchy of MG.
+func Multigrid(t, n int) []PeerWeight {
+	out := Ring1D(t, n)
+	w := 0.5
+	for d := 2; d < n; d *= 2 {
+		out = append(out,
+			PeerWeight{Peer: (t + d) % n, Weight: w},
+			PeerWeight{Peer: (t - d + n) % n, Weight: w})
+		w /= 2
+	}
+	return out
+}
+
+// Pipeline links thread t to t+1 only (directed chains like DC's data
+// flow); expressed symmetrically for the undirected pair regions.
+func Pipeline(t, n int) []PeerWeight {
+	var out []PeerWeight
+	if t+1 < n {
+		out = append(out, PeerWeight{Peer: t + 1, Weight: 1})
+	}
+	if t > 0 {
+		out = append(out, PeerWeight{Peer: t - 1, Weight: 0.5})
+	}
+	return out
+}
+
+// Irregular links each thread to k pseudo-random partners, like UA's
+// unstructured adaptive mesh. The graph is symmetric — communication takes
+// two parties — and stable across runs: it is the union of k random perfect
+// matchings (derived from seeded permutations), with geometrically
+// decreasing weight per round.
+func Irregular(k int) CommGraph {
+	return func(t, n int) []PeerWeight {
+		if n < 2 {
+			return nil
+		}
+		var out []PeerWeight
+		w := 1.0
+		for round := 0; round < k; round++ {
+			rng := rand.New(rand.NewSource(int64(round)*7919 + 13))
+			perm := rng.Perm(n)
+			// Pair consecutive elements of the permutation; find t's mate.
+			for i := 0; i+1 < n; i += 2 {
+				var peer int
+				switch t {
+				case perm[i]:
+					peer = perm[i+1]
+				case perm[i+1]:
+					peer = perm[i]
+				default:
+					continue
+				}
+				out = append(out, PeerWeight{Peer: peer, Weight: w})
+				break
+			}
+			w /= 2
+		}
+		return out
+	}
+}
