@@ -1,0 +1,21 @@
+# Convenience targets; verify is the pre-merge gate (see ROADMAP.md).
+
+.PHONY: build test race lint verify bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+lint:
+	go run ./cmd/spcdlint ./...
+
+verify:
+	./verify.sh
+
+bench:
+	go test -bench=. -benchmem -benchtime=1x

@@ -181,9 +181,12 @@ func writePGM(path string, m *commmatrix.Matrix) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := spcd.WriteHeatmapPGM(f, m, 8); err != nil {
+		_ = f.Close()
 		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 
@@ -192,10 +195,13 @@ func writePGM(path string, m *commmatrix.Matrix) error {
 	if err != nil {
 		return err
 	}
-	defer sf.Close()
 	title := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 	if err := spcd.WriteHeatmapSVG(sf, m, title); err != nil {
+		_ = sf.Close()
 		return err
+	}
+	if err := sf.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", svgPath, err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", svgPath)
 	return nil

@@ -101,20 +101,42 @@ func main() {
 		}
 	}
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
+		if err := writeCSV(*csvPath, tables); err != nil {
 			fatal(err)
-		}
-		defer f.Close()
-		for _, t := range tables {
-			fmt.Fprintf(f, "# %s\n", t.Title)
-			if err := t.WriteCSV(f); err != nil {
-				fatal(err)
-			}
-			fmt.Fprintln(f)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
 	}
+}
+
+// writeCSV exports every table to path, surfacing any write or close error
+// so a full disk cannot silently truncate the results.
+func writeCSV(path string, tables []*report.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	write := func() error {
+		for _, t := range tables {
+			if _, err := fmt.Fprintf(f, "# %s\n", t.Title); err != nil {
+				return err
+			}
+			if err := t.WriteCSV(f); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	return nil
 }
 
 // figureTable builds one of Figures 8-15: per kernel, the metric value of

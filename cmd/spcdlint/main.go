@@ -1,0 +1,177 @@
+// Command spcdlint runs spcd's repo-native static analyzers (package
+// internal/analysis) over the module: determinism (no ambient randomness or
+// wall-clock in simulator packages), maporder (no order-sensitive map
+// iteration), foreach-retain (hashtab callback arguments must not escape),
+// lockcheck (no lock copies, no unpaired Lock), and errcheck-io (no
+// discarded write/flush/close errors in cmd/ tools).
+//
+// Usage:
+//
+//	spcdlint ./...              # whole module (the default)
+//	spcdlint ./internal/core    # one package
+//	spcdlint -json ./...        # machine-readable findings
+//	spcdlint -rule maporder ./... # a single rule
+//	spcdlint -rules             # list rules and exit
+//
+// Findings are suppressed per line with `//lint:ignore <rule> <reason>`.
+// The exit status is 0 when clean, 1 when there are findings, 2 on usage or
+// load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"spcd/internal/analysis"
+)
+
+func main() {
+	var (
+		jsonOut   = flag.Bool("json", false, "emit findings as JSON")
+		ruleName  = flag.String("rule", "", "run a single rule (default: all)")
+		listRules = flag.Bool("rules", false, "list the rules and exit")
+	)
+	flag.Parse()
+
+	if *listRules {
+		for _, a := range analysis.All {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All
+	if *ruleName != "" {
+		a := analysis.ByName(*ruleName)
+		if a == nil {
+			fmt.Fprintf(os.Stderr, "spcdlint: unknown rule %q (try -rules)\n", *ruleName)
+			os.Exit(2)
+		}
+		analyzers = []*analysis.Analyzer{a}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spcdlint:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spcdlint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := run(loader, root, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spcdlint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "spcdlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			rel := d.File
+			if r, err := filepath.Rel(root, d.File); err == nil && !strings.HasPrefix(r, "..") {
+				rel = r
+			}
+			fmt.Printf("%s:%d:%d: %s [%s]\n", rel, d.Line, d.Col, d.Msg, d.Rule)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Printf("spcdlint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+// run resolves the patterns against the module and analyzes each matched
+// package once.
+func run(loader *analysis.Loader, root string, patterns []string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	dirs, err := loader.PackageDirs()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var all []analysis.Diagnostic
+	for _, pattern := range patterns {
+		matched := false
+		for _, d := range dirs {
+			dir, importPath := d[0], d[1]
+			if !matchPattern(root, dir, pattern) || seen[importPath] {
+				if seen[importPath] {
+					matched = true
+				}
+				continue
+			}
+			matched = true
+			seen[importPath] = true
+			diags, err := loader.AnalyzeDir(dir, importPath, analyzers)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", importPath, err)
+			}
+			all = append(all, diags...)
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", pattern)
+		}
+	}
+	return all, nil
+}
+
+// matchPattern reports whether the package in dir matches a ./path or
+// ./path/... pattern relative to the module root.
+func matchPattern(root, dir, pattern string) bool {
+	pattern = filepath.ToSlash(strings.TrimPrefix(pattern, "./"))
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return false
+	}
+	rel = filepath.ToSlash(rel)
+	if pattern == "..." {
+		return true
+	}
+	if base, ok := strings.CutSuffix(pattern, "/..."); ok {
+		base = strings.TrimSuffix(base, "/")
+		return base == "" || base == "." || rel == base || strings.HasPrefix(rel, base+"/")
+	}
+	if pattern == "" || pattern == "." {
+		return rel == "."
+	}
+	return rel == pattern
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

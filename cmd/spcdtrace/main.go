@@ -106,9 +106,12 @@ func writeFile(path string, write func(*os.File) error) {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 	if err := write(f); err != nil {
+		_ = f.Close()
 		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(fmt.Errorf("close %s: %w", path, err))
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }

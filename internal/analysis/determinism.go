@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism forbids ambient sources of nondeterminism in the simulator
+// packages: the global math/rand functions (rand.Intn, rand.Float64,
+// rand.Shuffle, ...) and wall-clock reads (time.Now, time.Since,
+// time.Until). Every random stream must be an explicit *rand.Rand
+// constructed from the run seed (rand.New(rand.NewSource(seed)), as in
+// core.NewSampler), so that a given seed reproduces a run bit for bit.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid global math/rand and wall-clock time in simulator packages",
+	Run:  runDeterminism,
+}
+
+// randConstructors are the math/rand functions that build explicitly seeded
+// generators; they are the approved way to obtain randomness.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true, // takes a *rand.Rand, so the seed still flows in
+}
+
+// clockFuncs are the time package functions that read the wall clock.
+var clockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runDeterminism(pass *Pass) {
+	if !isDeterministicPkg(pass.Path) {
+		return
+	}
+	for _, file := range pass.Files {
+		f := file
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			// Type references (*rand.Rand in a signature) are not reads of
+			// randomness; only function uses are policed.
+			if obj := pass.ObjectOf(sel.Sel); obj != nil {
+				if _, isType := obj.(*types.TypeName); isType {
+					return true
+				}
+			}
+			switch pass.ImportedPkg(f, id) {
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"global rand.%s breaks same-seed reproducibility; use a *rand.Rand built with rand.New(rand.NewSource(seed)) from the run seed",
+						sel.Sel.Name)
+				}
+			case "time":
+				if clockFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock; simulator packages must use simulated time so runs are reproducible",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ForeachRetain enforces the hashtab iteration contract: the *hashtab.Entry
+// handed to a ForEach callback (and the sharer slice handed to
+// core.ForEachRegion) aliases live table storage that the next Touch may
+// overwrite, so the callback must not let it escape. The rule flags
+// assignments and appends that store the callback's pointer or slice
+// parameters — or aliasing projections of them, such as e.Sharers — into
+// variables declared outside the callback.
+var ForeachRetain = &Analyzer{
+	Name: "foreach-retain",
+	Doc:  "forbid retaining hashtab ForEach callback arguments beyond the call",
+	Run:  runForeachRetain,
+}
+
+// foreachMethods are the iteration entry points whose callback arguments
+// alias internal storage.
+var foreachMethods = map[string]bool{
+	"ForEach":       true,
+	"ForEachRegion": true,
+}
+
+func runForeachRetain(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !foreachMethods[sel.Sel.Name] || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkCallbackRetention(pass, sel.Sel.Name, lit)
+			return true
+		})
+	}
+}
+
+// checkCallbackRetention flags escapes of lit's aliasing parameters.
+func checkCallbackRetention(pass *Pass, method string, lit *ast.FuncLit) {
+	params := aliasingParams(pass, lit)
+	if len(params) == 0 {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			if i >= len(assign.Rhs) {
+				break
+			}
+			if !isOuterTarget(pass, lit, lhs) {
+				continue
+			}
+			if name, aliases := retainsParam(pass, assign.Rhs[i], params); aliases {
+				pass.Reportf(assign.Pos(),
+					"%s callback argument %s aliases table storage that the next Touch may overwrite; copy the data instead of retaining it",
+					method, name)
+			}
+		}
+		return true
+	})
+}
+
+// aliasingParams returns the callback parameters whose values alias table
+// storage: pointers and slices. Falls back to syntax when types are absent.
+func aliasingParams(pass *Pass, lit *ast.FuncLit) map[types.Object]string {
+	out := make(map[types.Object]string)
+	for _, field := range lit.Type.Params.List {
+		aliasing := false
+		if len(field.Names) > 0 {
+			if t := pass.TypeOf(field.Type); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Pointer, *types.Slice:
+					aliasing = true
+				}
+			} else {
+				switch field.Type.(type) {
+				case *ast.StarExpr, *ast.ArrayType:
+					aliasing = true
+				}
+			}
+		}
+		if !aliasing {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.ObjectOf(name); obj != nil {
+				out[obj] = name.Name
+			}
+		}
+	}
+	return out
+}
+
+// isOuterTarget reports whether the assignment target lhs refers to storage
+// declared outside lit (an outer variable, a field of one, or an element of
+// one). Assignments to variables local to the callback are harmless.
+func isOuterTarget(pass *Pass, lit *ast.FuncLit, lhs ast.Expr) bool {
+	id := rootIdent(lhs)
+	if id == nil || id.Name == "_" {
+		return false
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		// No type info: be conservative only for selector/index targets,
+		// which usually reach through a captured variable.
+		_, isIdent := lhs.(*ast.Ident)
+		return !isIdent
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}
+
+// rootIdent walks to the base identifier of an lvalue expression.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// retainsParam reports whether evaluating e stores an alias of one of the
+// callback parameters: the parameter itself, its address, an aliasing field
+// projection (pointer or slice typed selector), or any of those reachable
+// through append calls, composite literals, or slicing. Plain value reads
+// (e.Region, len(e.Sharers)) do not alias and are allowed.
+func retainsParam(pass *Pass, e ast.Expr, params map[types.Object]string) (string, bool) {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if obj := pass.ObjectOf(v); obj != nil {
+			if name, ok := params[obj]; ok {
+				return name, true
+			}
+		}
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			// Taking the address of anything rooted at the parameter
+			// (&e.Region, &e.Sharers[0]) aliases table storage.
+			if id := rootIdent(v.X); id != nil {
+				if obj := pass.ObjectOf(id); obj != nil {
+					if name, ok := params[obj]; ok {
+						return name, true
+					}
+				}
+			}
+		}
+		return retainsParam(pass, v.X, params)
+	case *ast.ParenExpr:
+		return retainsParam(pass, v.X, params)
+	case *ast.SelectorExpr:
+		id, ok := v.X.(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil {
+			return "", false
+		}
+		name, isParam := params[obj]
+		if !isParam {
+			return "", false
+		}
+		if t := pass.TypeOf(v); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Pointer, *types.Slice, *types.Map:
+				return name, true
+			}
+			return "", false
+		}
+		return name, true // no type info: assume the projection aliases
+	case *ast.SliceExpr:
+		return retainsParam(pass, v.X, params)
+	case *ast.CallExpr:
+		if fn, ok := v.Fun.(*ast.Ident); ok && fn.Name == "append" {
+			for _, arg := range v.Args {
+				if name, aliases := retainsParam(pass, arg, params); aliases {
+					return name, true
+				}
+			}
+		}
+	case *ast.CompositeLit:
+		for _, elt := range v.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if name, aliases := retainsParam(pass, elt, params); aliases {
+				return name, true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis. Only
+// non-test files are loaded: the determinism and ordering contracts apply to
+// simulator code, and tests are free to use maps and ad-hoc randomness.
+type Package struct {
+	Path  string // import path, e.g. "spcd/internal/core"
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-check problems. Analysis proceeds with the
+	// partial information; rules degrade to syntactic checks where types
+	// are missing.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of one module. It resolves imports
+// inside the module from source and everything else (the standard library)
+// through the compiler's source importer, so no external tooling or
+// pre-built export data is needed.
+type Loader struct {
+	Root   string // module root directory (holds go.mod)
+	Module string // module path from go.mod
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*Package // by import path
+}
+
+// NewLoader creates a loader for the module rooted at root. The module path
+// is read from go.mod.
+func NewLoader(root string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:   root,
+		Module: modPath,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   make(map[string]*Package),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Import implements types.Importer: module-internal paths load from source
+// under Root; everything else is delegated to the standard importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+		pkg, err := l.Load(filepath.Join(l.Root, rel), path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load parses and type-checks the package in dir, registering it under
+// importPath. Results are memoized by import path, so loading a package
+// that imports an already-analyzed one is cheap. The importPath does not
+// have to match the directory: golden tests load testdata packages under
+// the import path of the package whose rules they exercise.
+func (l *Loader) Load(dir, importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+		}
+		return pkg, nil
+	}
+	l.pkgs[importPath] = nil // cycle guard
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	pkg := &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check returns a usable (if incomplete) package even when errors were
+	// reported through conf.Error; analysis degrades gracefully.
+	tpkg, _ := conf.Check(importPath, l.fset, files, pkg.Info)
+	pkg.Types = tpkg
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// PackageDirs walks the module tree and returns every directory containing
+// a non-test Go file, paired with its import path. testdata, hidden
+// directories, and nested modules are skipped.
+func (l *Loader) PackageDirs() ([][2]string, error) {
+	var out [][2]string
+	err := filepath.Walk(l.Root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if path != l.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if path != l.Root {
+				if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+					return filepath.SkipDir
+				}
+			}
+			return nil
+		}
+		if !strings.HasSuffix(info.Name(), ".go") || strings.HasSuffix(info.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return err
+		}
+		ip := l.Module
+		if rel != "." {
+			ip = l.Module + "/" + filepath.ToSlash(rel)
+		}
+		for _, seen := range out {
+			if seen[1] == ip {
+				return nil
+			}
+		}
+		out = append(out, [2]string{dir, ip})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][1] < out[j][1] })
+	return out, nil
+}
+
+// AnalyzeDir loads the package in dir under importPath and runs the given
+// analyzers over it.
+func (l *Loader) AnalyzeDir(dir, importPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkg, err := l.Load(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	return RunAnalyzers(pkg, analyzers), nil
+}
+
+// AnalyzeModule runs the analyzers over every package of the module and
+// returns all diagnostics sorted by file position.
+func (l *Loader) AnalyzeModule(analyzers []*Analyzer) ([]Diagnostic, error) {
+	dirs, err := l.PackageDirs()
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, d := range dirs {
+		diags, err := l.AnalyzeDir(d[0], d[1], analyzers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", d[1], err)
+		}
+		all = append(all, diags...)
+	}
+	return all, nil
+}

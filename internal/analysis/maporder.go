@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder forbids ranging over a map in the simulator packages: Go
+// randomizes map iteration order, so any map-ordered loop whose body is not
+// provably commutative (and float64 accumulation is not — addition order
+// changes rounding) breaks same-seed reproducibility. The approved pattern
+// is to extract the keys, sort them, and iterate the sorted slice. A bare
+// key-collection loop (`for k := range m { keys = append(keys, k) }`) is
+// recognized and allowed, since order cannot matter before the sort.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid order-sensitive map iteration in simulator packages",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	if !isDeterministicPkg(pass.Path) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollectionLoop(rs) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"map iteration order is randomized; extract the keys, sort them, and range over the sorted slice")
+			return true
+		})
+	}
+}
+
+// isKeyCollectionLoop reports whether rs is exactly
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// (no value variable, single append of the key into a slice). The order of
+// such a loop is laundered by the sort that must follow, so it is exempt.
+func isKeyCollectionLoop(rs *ast.RangeStmt) bool {
+	if rs.Value != nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}

@@ -1,0 +1,43 @@
+// Package det exercises the determinism rule. The golden test loads it
+// under the import path spcd/internal/core, where the rule applies.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+// seededOK shows the approved pattern: the generator flows from the seed.
+func seededOK(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// globalRand uses the ambient generator.
+func globalRand() int {
+	return rand.Intn(10) // want "global rand.Intn breaks same-seed reproducibility"
+}
+
+// globalShuffle uses the ambient generator through another entry point.
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand.Shuffle"
+}
+
+// wallClock reads real time.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// elapsed reads real time through Since.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+// durationsOK: time types and constants are fine, only clock reads are not.
+func durationsOK() time.Duration {
+	return 10 * time.Millisecond
+}
+
+// methodsOK: calls on an explicit generator are fine.
+func methodsOK(rng *rand.Rand) int {
+	return rng.Intn(10)
+}

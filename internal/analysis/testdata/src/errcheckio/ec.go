@@ -1,0 +1,77 @@
+// Package ec exercises the errcheck-io rule. The golden test loads it under
+// the import path spcd/cmd/ec, where the rule applies.
+package ec
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+)
+
+// deferClose discards the close error of a file opened for writing.
+func deferClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "error from f.Close\(\) is discarded"
+	_, err = f.WriteString("data")
+	return err
+}
+
+// checkedCloseOK checks the close error.
+func checkedCloseOK(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("data"); err != nil {
+		_ = f.Close() // explicit discard on the error path
+		return err
+	}
+	return f.Close()
+}
+
+// explicitDiscardOK makes the discard visible in the source.
+func explicitDiscardOK(path string) {
+	f, _ := os.Create(path)
+	_ = f.Close()
+}
+
+// fprintfToFile discards write errors to a real destination.
+func fprintfToFile(f *os.File, rows []string) {
+	for _, r := range rows {
+		fmt.Fprintf(f, "%s\n", r) // want "error from fmt.Fprintf is discarded"
+	}
+	fmt.Fprintln(f) // want "error from fmt.Fprintln is discarded"
+}
+
+// stderrOK: best-effort diagnostics to the standard streams are fine.
+func stderrOK() {
+	fmt.Fprintln(os.Stderr, "progress")
+	fmt.Fprintf(os.Stdout, "result\n")
+}
+
+// bufferOK: in-memory writers cannot fail.
+func bufferOK(buf *bytes.Buffer) string {
+	fmt.Fprintf(buf, "x=%d\n", 1)
+	buf.WriteString("y\n")
+	return buf.String()
+}
+
+// flushDiscard drops a buffered writer's flush error.
+func flushDiscard(f *os.File) {
+	w := bufio.NewWriter(f)
+	w.WriteString("data") // want "error from WriteString\(\) is discarded"
+	w.Flush()             // want "error from Flush\(\) is discarded"
+}
+
+// flushCheckedOK returns the flush error.
+func flushCheckedOK(f *os.File) error {
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString("data"); err != nil {
+		return err
+	}
+	return w.Flush()
+}

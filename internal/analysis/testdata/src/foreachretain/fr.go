@@ -1,0 +1,82 @@
+// Package fr exercises the foreach-retain rule against the real hashtab
+// API, whose ForEach contract (hashtab.go) forbids retaining the *Entry.
+package fr
+
+import "spcd/internal/hashtab"
+
+// retainEntry stores the callback pointer into an outer variable.
+func retainEntry(t *hashtab.Table) *hashtab.Entry {
+	var kept *hashtab.Entry
+	t.ForEach(func(e *hashtab.Entry) {
+		kept = e // want "ForEach callback argument e aliases table storage"
+	})
+	return kept
+}
+
+// appendEntries collects the pointers into an outer slice.
+func appendEntries(t *hashtab.Table) []*hashtab.Entry {
+	var all []*hashtab.Entry
+	t.ForEach(func(e *hashtab.Entry) {
+		all = append(all, e) // want "ForEach callback argument e aliases table storage"
+	})
+	return all
+}
+
+// retainSharers stores the aliasing slice projection.
+func retainSharers(t *hashtab.Table) [][]hashtab.Sharer {
+	var all [][]hashtab.Sharer
+	t.ForEach(func(e *hashtab.Entry) {
+		all = append(all, e.Sharers) // want "ForEach callback argument e aliases table storage"
+	})
+	return all
+}
+
+// retainInComposite hides the pointer inside a struct literal.
+func retainInComposite(t *hashtab.Table) {
+	type rec struct {
+		entry *hashtab.Entry
+	}
+	var recs []rec
+	t.ForEach(func(e *hashtab.Entry) {
+		recs = append(recs, rec{entry: e}) // want "ForEach callback argument e aliases table storage"
+	})
+	_ = recs
+}
+
+// retainAddress keeps the address of a field.
+func retainAddress(t *hashtab.Table) {
+	var region *uint64
+	t.ForEach(func(e *hashtab.Entry) {
+		region = &e.Region // want "ForEach callback argument e aliases table storage"
+	})
+	_ = region
+}
+
+// copyValuesOK copies plain values out: the approved pattern.
+func copyValuesOK(t *hashtab.Table) []uint64 {
+	var regions []uint64
+	t.ForEach(func(e *hashtab.Entry) {
+		regions = append(regions, e.Region)
+	})
+	return regions
+}
+
+// copySharersOK deep-copies the sharer slice before storing it.
+func copySharersOK(t *hashtab.Table) [][]hashtab.Sharer {
+	var all [][]hashtab.Sharer
+	t.ForEach(func(e *hashtab.Entry) {
+		cp := append([]hashtab.Sharer(nil), e.Sharers...)
+		all = append(all, cp)
+	})
+	return all
+}
+
+// localUseOK works on the entry inside the callback only.
+func localUseOK(t *hashtab.Table) int {
+	n := 0
+	t.ForEach(func(e *hashtab.Entry) {
+		local := e
+		n += len(local.Sharers)
+	})
+	return n
+}

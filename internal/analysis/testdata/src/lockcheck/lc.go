@@ -1,0 +1,103 @@
+// Package lc exercises the lockcheck rule.
+package lc
+
+import "sync"
+
+// guarded embeds a mutex, so copying it copies the lock.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// byValueParam copies the lock through the parameter list.
+func byValueParam(g guarded) int { // want "parameter copies sync.Mutex by value"
+	return g.n
+}
+
+// byValueReceiver copies the lock through the receiver.
+func (g guarded) get() int { // want "receiver copies sync.Mutex by value"
+	return g.n
+}
+
+// copyAssign copies the lock out of an existing variable.
+func copyAssign(g *guarded) {
+	snapshot := *g // want "assignment copies sync.Mutex by value"
+	_ = snapshot
+}
+
+// copyRange copies the lock out of every slice element.
+func copyRange(gs []guarded) int {
+	n := 0
+	for _, g := range gs { // want "range copies sync.Mutex by value"
+		n += g.n
+	}
+	return n
+}
+
+// lockNoUnlock takes the lock and leaks it.
+func lockNoUnlock(g *guarded) {
+	g.mu.Lock() // want "has no matching Unlock"
+	g.n++
+}
+
+// lockDeferOK is the approved pattern.
+func lockDeferOK(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+// lockPlainOK pairs without defer.
+func lockPlainOK(g *guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// closureLeak: the Unlock lives in a different function body, so the lock
+// escapes the function that took it.
+func closureLeak(g *guarded) func() {
+	g.mu.Lock() // want "has no matching Unlock"
+	return func() { g.mu.Unlock() }
+}
+
+// closurePairedOK: the closure pairs its own lock.
+func closurePairedOK(g *guarded) func() {
+	return func() {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		g.n++
+	}
+}
+
+// rwPairing: RLock needs RUnlock, not Unlock.
+type rwGuarded struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func rwMismatch(g *rwGuarded) int {
+	g.mu.RLock() // want "has no matching RUnlock"
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func rwOK(g *rwGuarded) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+// unrelatedLock: a Lock method on a non-sync type is not policed.
+type door struct{ open bool }
+
+func (d *door) Lock() { d.open = false }
+
+func slamDoor(d *door) {
+	d.Lock()
+}
+
+// ptrOK: pointers to locks move freely.
+func ptrOK(mu *sync.Mutex) *sync.Mutex {
+	return mu
+}

@@ -1,0 +1,55 @@
+// Package mo exercises the maporder rule. The golden test loads it under
+// the import path spcd/internal/policy, where the rule applies.
+package mo
+
+import "sort"
+
+// iterateMap ranges a map directly.
+func iterateMap(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "map iteration order is randomized"
+		total += v
+	}
+	return total
+}
+
+// iterateKeyed ranges keys only, but does work in the body.
+func iterateKeyed(m map[string]int, out map[string]int) {
+	for k := range m { // want "map iteration order is randomized"
+		out[k] = m[k] * 2
+	}
+}
+
+// sortedOK extracts and sorts the keys first: the approved pattern.
+func sortedOK(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// sliceOK: ranging a slice is ordered and fine.
+func sliceOK(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// typedMap: named map types are still maps.
+type counts map[int]int
+
+func typedMap(c counts) int {
+	n := 0
+	for _, v := range c { // want "map iteration order is randomized"
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,34 @@
+// Package sup exercises //lint:ignore suppression. The golden test loads it
+// under the import path spcd/internal/vm, where determinism and maporder
+// apply.
+package sup
+
+// suppressedTrailing: a trailing directive silences the finding on its line.
+func suppressedTrailing(m map[int]int) int {
+	n := 0
+	for _, v := range m { //lint:ignore maporder sum of ints is order-independent
+		n += v
+	}
+	return n
+}
+
+// suppressedAbove: a directive on the preceding line also works.
+func suppressedAbove(m map[int]int) int {
+	n := 0
+	//lint:ignore maporder sum of ints is order-independent
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// wrongRule: suppressing a different rule does not silence the finding, and
+// the stale directive is itself reported.
+func wrongRule(m map[int]int) int {
+	n := 0
+	//lint:ignore determinism wrong rule name // want "suppresses no finding"
+	for _, v := range m { // want "map iteration order is randomized"
+		n += v
+	}
+	return n
+}

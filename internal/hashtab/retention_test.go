@@ -1,0 +1,59 @@
+package hashtab
+
+import "testing"
+
+// These tests assert the ForEach no-retention contract dynamically,
+// complementing the static foreach-retain rule in internal/analysis: an
+// *Entry retained past ForEach aliases live bucket storage, so a later
+// Touch mutates it under the caller's feet. If the table ever switches to
+// handing out copies, these tests fail and both the contract comment in
+// hashtab.go and the lint rule should be retired together.
+
+// TestRetainedEntryIsOverwrittenByCollision shows the worst case: a
+// colliding Touch repurposes the retained entry for a different region.
+func TestRetainedEntryIsOverwrittenByCollision(t *testing.T) {
+	tab := New(1) // single bucket: every region collides
+	tab.Touch(0x1000, 0, 1)
+
+	// Deliberately violate the contract (fine here: this is a test file,
+	// and the point is to observe the aliasing).
+	var retained *Entry
+	tab.ForEach(func(e *Entry) { retained = e })
+	if retained == nil || retained.Region != 0x1000 {
+		t.Fatalf("retained = %+v, want region 0x1000", retained)
+	}
+
+	tab.Touch(0x2000, 1, 2) // collision: overwrites the bucket
+
+	if retained.Region != 0x2000 {
+		t.Fatalf("retained.Region = %#x after colliding Touch, want 0x2000 — "+
+			"the entry no longer aliases bucket storage and the ForEach contract comment is stale", retained.Region)
+	}
+	if retained.Sharer(0) != nil {
+		t.Fatalf("retained entry still lists thread 0; the bucket was not reused as the contract documents")
+	}
+}
+
+// TestRetainedSharersMutateInPlace shows the subtle case: even without a
+// collision, a same-region Touch updates the sharer records the retained
+// slice aliases.
+func TestRetainedSharersMutateInPlace(t *testing.T) {
+	tab := New(64)
+	tab.Touch(0x1000, 0, 10)
+
+	var sharers []Sharer
+	tab.ForEach(func(e *Entry) { sharers = e.Sharers })
+	if len(sharers) != 1 || sharers[0].LastAccess != 10 {
+		t.Fatalf("sharers = %+v, want one record with LastAccess 10", sharers)
+	}
+
+	tab.Touch(0x1000, 0, 99) // same region, same thread: in-place update
+
+	if sharers[0].LastAccess != 99 {
+		t.Fatalf("retained sharer LastAccess = %d, want 99 — "+
+			"the slice no longer aliases table storage and the ForEach contract comment is stale", sharers[0].LastAccess)
+	}
+	if sharers[0].Count != 2 {
+		t.Fatalf("retained sharer Count = %d, want 2", sharers[0].Count)
+	}
+}

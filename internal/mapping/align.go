@@ -16,13 +16,20 @@ func Align(newAff, cur []int, mach *topology.Machine) []int {
 		return newAff
 	}
 
-	// Decompose the proposal: threads per core, cores per socket.
+	// Decompose the proposal: threads per core, cores per socket. Sockets
+	// are remembered in first-seen (thread-index) order so the greedy
+	// tie-breaking below is deterministic — ranging the map here would let
+	// Go's randomized iteration order pick different winners per run.
 	coreThreads := make(map[int][]int) // proposed core -> threads
 	socketCores := make(map[int][]int) // proposed socket -> proposed cores
+	var socketOrder []int
 	for t, ctx := range newAff {
 		c := mach.CoreOf(ctx)
 		if len(coreThreads[c]) == 0 {
 			s := mach.SocketOf(ctx)
+			if len(socketCores[s]) == 0 {
+				socketOrder = append(socketOrder, s)
+			}
 			socketCores[s] = append(socketCores[s], c)
 		}
 		coreThreads[c] = append(coreThreads[c], t)
@@ -35,9 +42,9 @@ func Align(newAff, cur []int, mach *topology.Machine) []int {
 		threads []int
 	}
 	var groups []group
-	for _, cores := range socketCores {
-		g := group{cores: cores}
-		for _, c := range cores {
+	for _, s := range socketOrder {
+		g := group{cores: socketCores[s]}
+		for _, c := range g.cores {
 			g.threads = append(g.threads, coreThreads[c]...)
 		}
 		groups = append(groups, g)
@@ -120,8 +127,10 @@ func Align(newAff, cur []int, mach *topology.Machine) []int {
 			coreTaken[bestP] = true
 		}
 		// 3. Lay threads onto SMT slots, keeping current slots when the
-		// thread is already on that core.
-		for pc, phys := range assigned {
+		// thread is already on that core. Walk g.cores (deterministic)
+		// rather than the assigned map.
+		for _, pc := range g.cores {
+			phys := assigned[pc]
 			threads := coreThreads[pc]
 			slots := make([]int, 0, mach.ThreadsPerCore)
 			for k := 0; k < mach.ThreadsPerCore; k++ {

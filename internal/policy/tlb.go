@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"sort"
+
 	"spcd/internal/commmatrix"
 	"spcd/internal/engine"
 	"spcd/internal/mapping"
@@ -168,7 +170,15 @@ func (p *TLB) scan() {
 			pages[vpn] = append(pages[vpn], th)
 		}
 	}
-	for _, threads := range pages {
+	// Accumulate in sorted page order so the matrix is built identically on
+	// every same-seed run (map iteration order is randomized).
+	vpns := make([]uint64, 0, len(pages))
+	for vpn := range pages {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	for _, vpn := range vpns {
+		threads := pages[vpn]
 		for i := 0; i < len(threads); i++ {
 			for j := i + 1; j < len(threads); j++ {
 				p.matrix.Add(threads[i], threads[j], 1)

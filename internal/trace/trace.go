@@ -7,6 +7,8 @@
 package trace
 
 import (
+	"sort"
+
 	"spcd/internal/commmatrix"
 	"spcd/internal/workloads"
 )
@@ -41,8 +43,15 @@ func CommunicationMatrix(w workloads.Workload, seed int64, pageBytes int) *commm
 			}
 		}
 	}
-	for _, counts := range perPage {
-		addPageComm(m, counts)
+	// Accumulate in sorted page order: float64 addition is not associative,
+	// so map-ordered accumulation would change low-order bits between runs.
+	pages := make([]uint64, 0, len(perPage))
+	for page := range perPage {
+		pages = append(pages, page)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, page := range pages {
+		addPageComm(m, perPage[page])
 	}
 	return m
 }

@@ -1,0 +1,34 @@
+package spcd
+
+import (
+	"os"
+	"testing"
+
+	"spcd/internal/analysis"
+)
+
+// TestLint runs every spcdlint analyzer (internal/analysis) over the whole
+// module, so `go test ./...` — the tier-1 gate — fails the moment a
+// determinism, lock-discipline, or API-contract violation is introduced.
+// Findings can be suppressed per line with `//lint:ignore <rule> <reason>`;
+// see DESIGN.md ("Determinism & static analysis").
+func TestLint(t *testing.T) {
+	root, err := os.Getwd() // go test runs package spcd at the module root
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := loader.AnalyzeModule(analysis.All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("run `go run ./cmd/spcdlint ./...` to reproduce; suppress intentional cases with //lint:ignore <rule> <reason>")
+	}
+}
