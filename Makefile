@@ -18,4 +18,5 @@ verify:
 	./verify.sh
 
 bench:
-	go test -bench=. -benchmem -benchtime=1x
+	go test -run '^$$' -bench=. -benchmem -benchtime=1x ./...
+	go run ./cmd/perfbench -o BENCH_engine.json

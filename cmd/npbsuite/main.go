@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"spcd"
@@ -46,8 +48,44 @@ func main() {
 		threads  = flag.Int("threads", 32, "threads per benchmark")
 		seed     = flag.Int64("seed", 0, "base seed")
 		csvPath  = flag.String("csv", "", "also write every table as CSV to this file")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile after the sweep to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(fmt.Errorf("close %s: %w", *cpuprofile, err))
+			}
+		}()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			_ = f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(fmt.Errorf("close %s: %w", *memprofile, err))
+		}
+	}()
 
 	cls, err := spcd.ClassByName(*class)
 	if err != nil {

@@ -1,0 +1,205 @@
+// Command perfbench measures the simulator's own throughput — simulated
+// memory accesses retired per wall-clock second — across the NPB suite, and
+// records the result in BENCH_engine.json so the performance trajectory of
+// the engine hot path (engine.Run -> vm.Access -> cache.Access) is tracked
+// across PRs. It complements the per-package Benchmark* functions: those
+// isolate one layer, this measures the end-to-end pipeline the experiments
+// actually pay for.
+//
+// Usage:
+//
+//	perfbench                                  # full sweep, writes BENCH_engine.json
+//	perfbench -class small -reps 3             # best-of-3 per configuration
+//	perfbench -kernels CG,SP -policies os      # subset
+//	perfbench -cpuprofile cpu.pprof            # profile the sweep
+//
+// Wall-clock timing makes this tool inherently nondeterministic in its
+// *measurements*; the simulation results it times remain seed-deterministic,
+// and the JSON field order is fixed so diffs stay reviewable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"time"
+
+	"spcd"
+)
+
+// Result is the measurement of one kernel x policy configuration.
+type Result struct {
+	Kernel         string  `json:"kernel"`
+	Policy         string  `json:"policy"`
+	Class          string  `json:"class"`
+	Threads        int     `json:"threads"`
+	Seed           int64   `json:"seed"`
+	Reps           int     `json:"reps"`
+	SimAccesses    uint64  `json:"sim_accesses"`
+	WallSeconds    float64 `json:"wall_seconds"` // best (minimum) over reps
+	AccessesPerSec float64 `json:"accesses_per_sec"`
+	NsPerAccess    float64 `json:"ns_per_access"`
+}
+
+// File is the schema of BENCH_engine.json.
+type File struct {
+	Class          string   `json:"class"`
+	Threads        int      `json:"threads"`
+	GoVersion      string   `json:"go_version"`
+	TotalAccesses  uint64   `json:"total_sim_accesses"`
+	TotalSeconds   float64  `json:"total_wall_seconds"`
+	AccessesPerSec float64  `json:"aggregate_accesses_per_sec"`
+	Results        []Result `json:"results"`
+}
+
+func main() {
+	var (
+		class      = flag.String("class", "small", "workload class: test, tiny, small, A")
+		reps       = flag.Int("reps", 3, "repetitions per configuration; best (min) wall time is kept")
+		kernels    = flag.String("kernels", "", "comma-separated kernel subset (default: all ten)")
+		policies   = flag.String("policies", "os,spcd", "comma-separated policies to time")
+		threads    = flag.Int("threads", 32, "threads per benchmark")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		out        = flag.String("o", "BENCH_engine.json", "output JSON path (empty: stdout only)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile after the sweep to this file")
+	)
+	flag.Parse()
+
+	cls, err := spcd.ClassByName(*class)
+	if err != nil {
+		fatal(err)
+	}
+	names := spcd.NPBNames
+	if *kernels != "" {
+		names = splitList(*kernels)
+	}
+	pols := splitList(*policies)
+	if *reps < 1 {
+		*reps = 1
+	}
+	mach := spcd.DefaultMachine()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(fmt.Errorf("close %s: %w", *cpuprofile, err))
+			}
+		}()
+	}
+
+	bench := File{Class: cls.Name, Threads: *threads, GoVersion: runtime.Version()}
+	for _, kernel := range names {
+		w, err := spcd.NPB(kernel, *threads, cls)
+		if err != nil {
+			fatal(err)
+		}
+		for _, pol := range pols {
+			r := Result{Kernel: kernel, Policy: pol, Class: cls.Name,
+				Threads: *threads, Seed: *seed, Reps: *reps}
+			best := time.Duration(0)
+			for rep := 0; rep < *reps; rep++ {
+				start := time.Now()
+				m, err := spcd.Run(mach, w, pol, *seed)
+				if err != nil {
+					fatal(err)
+				}
+				elapsed := time.Since(start)
+				if rep == 0 || elapsed < best {
+					best = elapsed
+				}
+				r.SimAccesses = m.Cache.Accesses
+			}
+			r.WallSeconds = best.Seconds()
+			if r.WallSeconds > 0 {
+				r.AccessesPerSec = float64(r.SimAccesses) / r.WallSeconds
+				r.NsPerAccess = r.WallSeconds * 1e9 / float64(r.SimAccesses)
+			}
+			bench.TotalAccesses += r.SimAccesses
+			bench.TotalSeconds += r.WallSeconds
+			bench.Results = append(bench.Results, r)
+			fmt.Fprintf(os.Stderr, "%-4s %-6s %9.0f accesses/s  (%.1f ns/access, %d accesses in %.3fs)\n",
+				kernel, pol, r.AccessesPerSec, r.NsPerAccess, r.SimAccesses, r.WallSeconds)
+		}
+	}
+	if bench.TotalSeconds > 0 {
+		bench.AccessesPerSec = float64(bench.TotalAccesses) / bench.TotalSeconds
+	}
+	fmt.Fprintf(os.Stderr, "aggregate: %.0f accesses/s over %d accesses in %.3fs\n",
+		bench.AccessesPerSec, bench.TotalAccesses, bench.TotalSeconds)
+
+	blob, err := json.MarshalIndent(&bench, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(blob); err != nil {
+			fatal(err)
+		}
+	} else if err := writeFile(*out, blob); err != nil {
+		fatal(err)
+	} else {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			_ = f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(fmt.Errorf("close %s: %w", *memprofile, err))
+		}
+	}
+}
+
+// writeFile writes blob to path, surfacing write and close errors so a full
+// disk cannot silently truncate the benchmark record.
+func writeFile(path string, blob []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfbench:", err)
+	os.Exit(1)
+}

@@ -6,6 +6,10 @@ import (
 	"testing"
 
 	"spcd"
+	"spcd/internal/cache"
+	"spcd/internal/topology"
+	"spcd/internal/vm"
+	"spcd/internal/workloads"
 )
 
 // TestSameSeedRunsAreByteIdentical is the determinism regression gate: two
@@ -107,5 +111,104 @@ func TestSameSeedMetricsIdentical(t *testing.T) {
 	s2 := fmt.Sprintf("%+v", m2)
 	if s1 != s2 {
 		t.Errorf("metrics differ between same-seed runs:\nrun1: %s\nrun2: %s", s1, s2)
+	}
+}
+
+// TestFastPathMatchesSlowPath is the byte-identity contract behind the
+// engine's fused TLB/L1 fast path: for an identical access stream, a
+// pipeline that tries vm.AccessFast/cache.AccessFast and falls back to the
+// full path on a miss must produce exactly the same translations, the same
+// cycle charges, and the same final statistics as a pipeline that only ever
+// takes the full path. The engine's optimized inner loop is the left-hand
+// side of this comparison; its pre-optimization loop is the right-hand side.
+func TestFastPathMatchesSlowPath(t *testing.T) {
+	mach := topology.DefaultXeon()
+	const threads, seed = 8, int64(5)
+
+	newRun := func() workloads.Run {
+		w, err := workloads.NewNPB("CG", threads, workloads.ClassTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.NewRun(seed)
+	}
+	runFast, runSlow := newRun(), newRun()
+
+	asFast, chFast := vm.NewAddressSpace(mach), cache.New(mach)
+	asSlow, chSlow := vm.NewAddressSpace(mach), cache.New(mach)
+	shift := asFast.PageShift()
+	mask := uint64(mach.PageSize - 1)
+
+	var clockFast, clockSlow uint64
+	var total, fastHits int
+	bufFast := make([]workloads.Access, 64)
+	bufSlow := make([]workloads.Access, 64)
+	for live := true; live; {
+		live = false
+		for th := 0; th < threads; th++ {
+			nf := runFast.Next(th, bufFast)
+			ns := runSlow.Next(th, bufSlow)
+			if nf != ns {
+				t.Fatalf("thread %d: same-seed runs produced %d vs %d accesses", th, nf, ns)
+			}
+			if nf > 0 {
+				live = true
+			}
+			for i := 0; i < nf; i++ {
+				a := bufFast[i]
+				if a != bufSlow[i] {
+					t.Fatalf("thread %d: streams diverged at access %d: %+v vs %+v", th, i, a, bufSlow[i])
+				}
+				total++
+
+				// Fast pipeline: the engine's fused path with fallback.
+				frame, node, ok := asFast.AccessFast(th, a.Addr)
+				var vmCycFast int
+				if !ok {
+					tr := asFast.Access(th, th, a.Addr, a.Write, clockFast)
+					frame, node, vmCycFast = tr.Frame, tr.Node, tr.Cycles
+				}
+				physFast := uint64(frame)<<shift | (a.Addr & mask)
+				cacheCycFast, hit := chFast.AccessFast(th, physFast, a.Write)
+				if hit && ok {
+					fastHits++
+				}
+				if !hit {
+					cacheCycFast = chFast.Access(th, physFast, a.Write, node).Cycles
+				}
+				clockFast += uint64(vmCycFast + cacheCycFast)
+
+				// Slow pipeline: full path only.
+				tr := asSlow.Access(th, th, a.Addr, a.Write, clockSlow)
+				physSlow := uint64(tr.Frame)<<shift | (a.Addr & mask)
+				res := chSlow.Access(th, physSlow, a.Write, tr.Node)
+				clockSlow += uint64(tr.Cycles + res.Cycles)
+
+				if physFast != physSlow || node != tr.Node {
+					t.Fatalf("access %d (thread %d, %#x): fast (phys %#x, node %d) != slow (phys %#x, node %d)",
+						total, th, a.Addr, physFast, node, physSlow, tr.Node)
+				}
+				if vmCycFast != tr.Cycles || cacheCycFast != res.Cycles {
+					t.Fatalf("access %d (thread %d, %#x): fast cycles (vm %d, cache %d) != slow (vm %d, cache %d)",
+						total, th, a.Addr, vmCycFast, cacheCycFast, tr.Cycles, res.Cycles)
+				}
+			}
+		}
+	}
+
+	if clockFast != clockSlow {
+		t.Errorf("accumulated clocks diverged: fast %d, slow %d", clockFast, clockSlow)
+	}
+	if asFast.Stats() != asSlow.Stats() {
+		t.Errorf("VM stats diverged:\nfast: %+v\nslow: %+v", asFast.Stats(), asSlow.Stats())
+	}
+	if chFast.Stats() != chSlow.Stats() {
+		t.Errorf("cache stats diverged:\nfast: %+v\nslow: %+v", chFast.Stats(), chSlow.Stats())
+	}
+	if total == 0 {
+		t.Fatal("workload produced no accesses; the comparison is vacuous")
+	}
+	if fastHits == 0 {
+		t.Error("fused fast path never hit; the comparison exercises nothing")
 	}
 }

@@ -12,6 +12,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"spcd/internal/topology"
 )
@@ -95,12 +96,18 @@ func (s Stats) C2CTotal() uint64 { return s.C2CSameSocket + s.C2CCrossSocket }
 // DRAMTotal returns all DRAM accesses.
 func (s Stats) DRAMTotal() uint64 { return s.DRAMLocal + s.DRAMRemote }
 
-// array is one physical set-associative cache with LRU replacement.
+// array is one physical set-associative cache with LRU replacement. The
+// valid and dirty bits are packed bitsets (one bit per slot) so a set's
+// metadata shares a cache line with its neighbors instead of spanning a
+// []bool, and the set-base computation is a mask when the set count is a
+// power of two (it is, for every realistic geometry).
 type array struct {
 	sets, ways int
+	setMask    uint64 // sets-1 when sets is a power of two
+	pow2       bool
 	tags       []uint64
-	valid      []bool
-	dirty      []bool
+	valid      []uint64 // packed: bit i = slot i
+	dirty      []uint64 // packed: bit i = slot i
 	stamp      []uint64
 	clock      uint64
 }
@@ -114,21 +121,40 @@ func newArray(geom topology.CacheGeometry, lineSize int) *array {
 	}
 	n := sets * ways
 	return &array{
-		sets:  sets,
-		ways:  ways,
-		tags:  make([]uint64, n),
-		valid: make([]bool, n),
-		dirty: make([]bool, n),
-		stamp: make([]uint64, n),
+		sets:    sets,
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		pow2:    sets&(sets-1) == 0,
+		tags:    make([]uint64, n),
+		valid:   make([]uint64, (n+63)/64),
+		dirty:   make([]uint64, (n+63)/64),
+		stamp:   make([]uint64, n),
 	}
 }
 
-// find returns the slot holding line, or -1.
+// setBase returns the first slot of the set holding line.
+func (a *array) setBase(line uint64) int {
+	if a.pow2 {
+		return int(line&a.setMask) * a.ways
+	}
+	return int(line%uint64(a.sets)) * a.ways
+}
+
+func (a *array) isValid(i int) bool { return a.valid[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (a *array) setValid(i int)     { a.valid[i>>6] |= 1 << (uint(i) & 63) }
+func (a *array) clearValid(i int)   { a.valid[i>>6] &^= 1 << (uint(i) & 63) }
+func (a *array) isDirty(i int) bool { return a.dirty[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (a *array) setDirty(i int)     { a.dirty[i>>6] |= 1 << (uint(i) & 63) }
+func (a *array) clearDirty(i int)   { a.dirty[i>>6] &^= 1 << (uint(i) & 63) }
+
+// find returns the slot holding line, or -1. The tag is compared before the
+// valid bit: tags of invalid slots are stale but a match is rare, so the
+// common-case iteration touches only the tag array.
 func (a *array) find(line uint64) int {
-	base := int(line%uint64(a.sets)) * a.ways
-	for w := 0; w < a.ways; w++ {
-		if a.valid[base+w] && a.tags[base+w] == line {
-			return base + w
+	base := a.setBase(line)
+	for i := base; i < base+a.ways; i++ {
+		if a.tags[i] == line && a.isValid(i) {
+			return i
 		}
 	}
 	return -1
@@ -150,18 +176,20 @@ func (a *array) probe(line uint64) bool { return a.find(line) >= 0 }
 // markDirty sets the dirty bit of a resident line.
 func (a *array) markDirty(line uint64) {
 	if i := a.find(line); i >= 0 {
-		a.dirty[i] = true
+		a.setDirty(i)
 	}
 }
 
 // insert places line, evicting the LRU way if the set is full. It returns
-// the evicted line and whether one was evicted (and dirty).
+// the evicted line and whether one was evicted (and dirty). Victim choice
+// (first invalid slot, else lowest stamp in slot order) is part of the
+// deterministic simulation contract — do not reorder.
 func (a *array) insert(line uint64, dirty bool) (evicted uint64, evictedDirty, hadEviction bool) {
-	base := int(line%uint64(a.sets)) * a.ways
+	base := a.setBase(line)
 	victim := base
 	for w := 0; w < a.ways; w++ {
 		i := base + w
-		if !a.valid[i] {
+		if !a.isValid(i) {
 			victim = i
 			break
 		}
@@ -169,15 +197,19 @@ func (a *array) insert(line uint64, dirty bool) (evicted uint64, evictedDirty, h
 			victim = i
 		}
 	}
-	if a.valid[victim] {
+	if a.isValid(victim) {
 		evicted = a.tags[victim]
-		evictedDirty = a.dirty[victim]
+		evictedDirty = a.isDirty(victim)
 		hadEviction = true
 	}
 	a.clock++
 	a.tags[victim] = line
-	a.valid[victim] = true
-	a.dirty[victim] = dirty
+	a.setValid(victim)
+	if dirty {
+		a.setDirty(victim)
+	} else {
+		a.clearDirty(victim)
+	}
 	a.stamp[victim] = a.clock
 	return evicted, evictedDirty, hadEviction
 }
@@ -185,19 +217,46 @@ func (a *array) insert(line uint64, dirty bool) (evicted uint64, evictedDirty, h
 // invalidate removes line if resident, reporting whether it was dirty.
 func (a *array) invalidate(line uint64) (wasDirty, was bool) {
 	if i := a.find(line); i >= 0 {
-		a.valid[i] = false
-		return a.dirty[i], true
+		a.clearValid(i)
+		return a.isDirty(i), true
 	}
 	return false, false
 }
 
-// dirEntry is the directory state of one cache line.
+// dirEntry is the directory state of one cache line. The owner core is
+// stored biased by one so the zero value means "no entry": the directory
+// lives in zero-initialized slabs, and a line that was never accessed is
+// indistinguishable from one with no sharers, no owner, and no history —
+// which is exactly the semantics the old lazily-populated map had.
 type dirEntry struct {
 	sharers     uint32 // cores holding the line in a private cache
-	owner       int8   // core with a modified copy, or -1
+	ownerPlus1  int8   // (core with a modified copy)+1, or 0 for none
 	invalidated uint32 // cores whose last copy was killed by an invalidation
 	evicted     uint32 // cores whose last copy was evicted for capacity
 }
+
+// owner returns the owning core, or -1 if none.
+func (e *dirEntry) owner() int { return int(e.ownerPlus1) - 1 }
+
+// setOwner records core as the dirty owner.
+func (e *dirEntry) setOwner(core int) { e.ownerPlus1 = int8(core + 1) }
+
+// clearOwner removes the dirty owner.
+func (e *dirEntry) clearOwner() { e.ownerPlus1 = 0 }
+
+// The directory is a chunked slab indexed directly by line number: the vm
+// frame allocator hands out frames densely from zero, so physical line
+// indices are dense and a flat array beats a hash map on every access (the
+// map lookup was ~40% of total simulation time). Chunks are allocated on
+// first touch; a chunk is dirChunkSize entries (512 KiB).
+const (
+	dirChunkBits = 15
+	dirChunkSize = 1 << dirChunkBits
+	dirChunkMask = dirChunkSize - 1
+)
+
+// dirChunk holds the directory entries of dirChunkSize consecutive lines.
+type dirChunk [dirChunkSize]dirEntry
 
 // Hierarchy is the machine-wide cache system.
 type Hierarchy struct {
@@ -206,7 +265,7 @@ type Hierarchy struct {
 	l1, l2 []*array // per core
 	l3     []*array // per socket
 
-	dir map[uint64]*dirEntry
+	dir []*dirChunk // chunked slab, indexed by line number
 
 	lineShift uint
 	stats     Stats
@@ -227,7 +286,6 @@ func New(m *topology.Machine) *Hierarchy {
 	}
 	h := &Hierarchy{
 		mach:      m,
-		dir:       make(map[uint64]*dirEntry),
 		lineShift: shift,
 	}
 	for c := 0; c < m.NumCores(); c++ {
@@ -273,12 +331,18 @@ func (h *Hierarchy) PairC2C() [][]uint64 {
 func (h *Hierarchy) LineOf(addr uint64) uint64 { return addr >> h.lineShift }
 
 func (h *Hierarchy) entry(line uint64) *dirEntry {
-	e := h.dir[line]
-	if e == nil {
-		e = &dirEntry{owner: -1}
-		h.dir[line] = e
+	c := line >> dirChunkBits
+	if c >= uint64(len(h.dir)) {
+		grown := make([]*dirChunk, c+1)
+		copy(grown, h.dir)
+		h.dir = grown
 	}
-	return e
+	ch := h.dir[c]
+	if ch == nil {
+		ch = new(dirChunk)
+		h.dir[c] = ch
+	}
+	return &ch[line&dirChunkMask]
 }
 
 // coreHolds reports whether core c holds the line privately per directory.
@@ -292,8 +356,8 @@ func (h *Hierarchy) dropCore(e *dirEntry, c int, invalidation bool) {
 	} else {
 		e.evicted |= 1 << uint(c)
 	}
-	if e.owner == int8(c) {
-		e.owner = -1
+	if e.owner() == c {
+		e.clearOwner()
 	}
 }
 
@@ -324,8 +388,8 @@ func (h *Hierarchy) fillL3(socket int, line uint64, dirty bool) {
 	}
 	// Inclusive L3: private copies of the evicted line on this socket
 	// must go too (back-invalidation, a capacity effect).
-	e := h.dir[evicted]
-	if e == nil {
+	e := h.entry(evicted)
+	if e.sharers == 0 {
 		return
 	}
 	for c := socket * h.mach.CoresPerSocket; c < (socket+1)*h.mach.CoresPerSocket; c++ {
@@ -345,7 +409,7 @@ func (h *Hierarchy) fillPrivate(core int, line uint64, dirty bool) {
 	e.invalidated &^= 1 << uint(core)
 	e.evicted &^= 1 << uint(core)
 	if dirty {
-		e.owner = int8(core)
+		e.setOwner(core)
 	}
 	v1, d1, had1 := h.l1[core].insert(line, dirty)
 	if had1 && v1 != line {
@@ -386,6 +450,41 @@ func (h *Hierarchy) Access(ctx int, addr uint64, write bool, node int) AccessRes
 	return res
 }
 
+// AccessFast is the allocation-free fast path of Access: it succeeds only
+// when the access hits the requesting core's L1 and needs no coherence
+// action beyond what the hit itself implies — any read hit, or a write hit
+// when this core is the line's sole sharer. On success it performs exactly
+// the state transitions and counter updates the full path would (LRU
+// refresh, dirty bit, ownership, Accesses/Writes/L1Hits/StallCycles) and
+// returns the L1 latency; no AccessResult is built and, for reads, the
+// directory is never touched. On ok=false nothing is modified and the
+// caller must fall back to Access.
+func (h *Hierarchy) AccessFast(ctx int, addr uint64, write bool) (cycles int, ok bool) {
+	line := addr >> h.lineShift
+	a := h.l1[h.mach.CoreOf(ctx)]
+	i := a.find(line)
+	if i < 0 {
+		return 0, false
+	}
+	if write {
+		core := h.mach.CoreOf(ctx)
+		e := h.entry(line)
+		if e.sharers != 1<<uint(core) {
+			// Other cores hold copies: the full path must invalidate them.
+			return 0, false
+		}
+		a.setDirty(i)
+		e.setOwner(core)
+		h.stats.Writes++
+	}
+	a.clock++
+	a.stamp[i] = a.clock
+	h.stats.Accesses++
+	h.stats.L1Hits++
+	h.stats.StallCycles += uint64(h.mach.Lat.L1)
+	return h.mach.Lat.L1, true
+}
+
 func (h *Hierarchy) resolve(ctx, core, socket int, line uint64, write bool, node int) AccessResult {
 	m := h.mach
 	e := h.entry(line)
@@ -397,7 +496,7 @@ func (h *Hierarchy) resolve(ctx, core, socket int, line uint64, write bool, node
 		if write {
 			h.l1[core].markDirty(line)
 			h.invalidateOthers(e, core, line)
-			e.owner = int8(core)
+			e.setOwner(core)
 		}
 		return AccessResult{Cycles: m.Lat.L1, Level: HitL1}
 	}
@@ -408,7 +507,7 @@ func (h *Hierarchy) resolve(ctx, core, socket int, line uint64, write bool, node
 		dirty, _ := h.l2[core].invalidate(line)
 		if write {
 			h.invalidateOthers(e, core, line)
-			e.owner = int8(core)
+			e.setOwner(core)
 			dirty = true
 		}
 		v1, d1, had1 := h.l1[core].insert(line, dirty)
@@ -434,8 +533,8 @@ func (h *Hierarchy) resolve(ctx, core, socket int, line uint64, write bool, node
 
 	// The line is not in this core. If another core owns it dirty, a
 	// cache-to-cache transfer supplies the data.
-	if e.owner >= 0 && int(e.owner) != core {
-		ownerCore := int(e.owner)
+	if ow := e.owner(); ow >= 0 && ow != core {
+		ownerCore := ow
 		ownerSocket := ownerCore / m.CoresPerSocket
 		cross := ownerSocket != socket
 		var cycles int
@@ -458,7 +557,7 @@ func (h *Hierarchy) resolve(ctx, core, socket int, line uint64, write bool, node
 		} else {
 			// Downgrade: owner keeps a clean copy, dirty data is
 			// written back to the owner's L3.
-			e.owner = -1
+			e.clearOwner()
 			h.fillL3(ownerSocket, line, true)
 		}
 		h.fillL3(socket, line, false)
@@ -514,15 +613,14 @@ func (h *Hierarchy) resolve(ctx, core, socket int, line uint64, write bool, node
 }
 
 // invalidateOthers kills every other core's private copy of line (a write
-// gaining exclusive ownership).
+// gaining exclusive ownership). It walks only the set bits of the sharer
+// mask (ascending core order, matching the old full scan) so the common
+// no-sharer and sole-sharer cases cost one mask test.
 func (h *Hierarchy) invalidateOthers(e *dirEntry, core int, line uint64) {
-	if e.sharers == 0 {
-		return
-	}
-	for c := 0; c < h.mach.NumCores(); c++ {
-		if c == core || !coreHolds(e, c) {
-			continue
-		}
+	rest := e.sharers &^ (1 << uint(core))
+	for rest != 0 {
+		c := bits.TrailingZeros32(rest)
+		rest &= rest - 1
 		h.l1[c].invalidate(line)
 		h.l2[c].invalidate(line)
 		h.dropCore(e, c, true)

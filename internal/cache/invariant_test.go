@@ -17,8 +17,8 @@ func (h *Hierarchy) checkConsistency() error {
 	type residency struct{ l1, l2 bool }
 	resident := make(map[uint64]map[int]*residency)
 	record := func(a *array, core int, isL1 bool) {
-		for i, valid := range a.valid {
-			if !valid {
+		for i := 0; i < a.sets*a.ways; i++ {
+			if !a.isValid(i) {
 				continue
 			}
 			line := a.tags[i]
@@ -43,28 +43,38 @@ func (h *Hierarchy) checkConsistency() error {
 	}
 	// Array residency implies directory sharing (and exclusivity).
 	for line, cores := range resident {
-		e := h.dir[line]
+		e := h.entry(line)
 		for core, r := range cores {
 			if r.l1 && r.l2 {
 				return fmt.Errorf("line %#x in both L1 and L2 of core %d", line, core)
 			}
-			if e == nil || !coreHolds(e, core) {
+			if !coreHolds(e, core) {
 				return fmt.Errorf("line %#x resident in core %d but not in directory", line, core)
 			}
 		}
 	}
 	// Directory sharing implies array residency; owners are sharers.
-	for line, e := range h.dir {
-		if e.owner >= 0 && !coreHolds(e, int(e.owner)) {
-			return fmt.Errorf("line %#x owned by core %d which is not a sharer", line, e.owner)
+	for ci, ch := range h.dir {
+		if ch == nil {
+			continue
 		}
-		for c := 0; c < h.mach.NumCores(); c++ {
-			if !coreHolds(e, c) {
+		for li := range ch {
+			e := &ch[li]
+			if e.sharers == 0 && e.ownerPlus1 == 0 {
 				continue
 			}
-			r := resident[line][c]
-			if r == nil {
-				return fmt.Errorf("directory says core %d holds line %#x but arrays disagree", c, line)
+			line := uint64(ci)<<dirChunkBits | uint64(li)
+			if ow := e.owner(); ow >= 0 && !coreHolds(e, ow) {
+				return fmt.Errorf("line %#x owned by core %d which is not a sharer", line, ow)
+			}
+			for c := 0; c < h.mach.NumCores(); c++ {
+				if !coreHolds(e, c) {
+					continue
+				}
+				r := resident[line][c]
+				if r == nil {
+					return fmt.Errorf("directory says core %d holds line %#x but arrays disagree", c, line)
+				}
 			}
 		}
 	}

@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"testing"
+
+	"spcd/internal/topology"
+	"spcd/internal/workloads"
+)
+
+// BenchmarkRun measures end-to-end engine throughput — translation,
+// coherence, scheduling, and policy plumbing together — the number that
+// cmd/perfbench tracks across kernels. Run with -benchmem: the steady-state
+// access loop should show near-zero allocations per simulated access.
+func BenchmarkRun(b *testing.B) {
+	w, err := workloads.NewNPB("SP", 8, workloads.ClassTest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var accesses uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := Run(Config{
+			Machine:  topology.DefaultXeon(),
+			Workload: w,
+			Policy:   &pinned{name: "bench"},
+			Seed:     1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		accesses = m.Cache.Accesses
+	}
+	b.ReportMetric(float64(accesses), "sim-accesses/op")
+}
+
+// BenchmarkRunMigrating exercises the tick path: a policy that migrates
+// once keeps the per-tick bookkeeping (affinity validation, heap repair)
+// on the measured path.
+func BenchmarkRunMigrating(b *testing.B) {
+	w, err := workloads.NewNPB("SP", 8, workloads.ClassTest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &pinned{name: "bench-mig",
+			aff:     []int{0, 1, 2, 3, 4, 5, 6, 7},
+			trigger: 2, newAff: []int{8, 9, 10, 11, 4, 5, 6, 7}}
+		if _, err := Run(Config{Machine: topology.DefaultXeon(), Workload: w,
+			Policy: p, Seed: 1, TickIntervalCycles: 20_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -204,7 +204,10 @@ func Run(cfg Config) (Metrics, error) {
 		return Metrics{}, err
 	}
 	affinity := append([]int(nil), cfg.Policy.InitialAffinity()...)
-	if err := checkAffinity(affinity, n, mach.NumContexts()); err != nil {
+	// affScratch is reused by every affinity validation (one per migration
+	// tick); allocating a map there showed up in migration-heavy profiles.
+	affScratch := make([]bool, mach.NumContexts())
+	if err := checkAffinity(affinity, n, mach.NumContexts(), affScratch); err != nil {
 		return Metrics{}, err
 	}
 
@@ -238,10 +241,20 @@ func Run(cfg Config) (Metrics, error) {
 			}
 			for _, a := range ibuf[:k] {
 				ctx := affinity[a.Thread%n]
-				tr := as.Access(a.Thread%n, ctx, a.Addr, a.Write, clock)
-				phys := uint64(tr.Frame)<<pageShift | (a.Addr & pageMask)
-				res := caches.Access(ctx, phys, a.Write, tr.Node)
-				clock += compute + uint64(tr.Cycles) + uint64(res.Cycles)
+				// Fused fast path; see the main loop for the contract.
+				frame, node, hit := as.AccessFast(ctx, a.Addr)
+				if !hit {
+					tr := as.Access(a.Thread%n, ctx, a.Addr, a.Write, clock)
+					frame, node = tr.Frame, tr.Node
+					clock += uint64(tr.Cycles)
+				}
+				phys := uint64(frame)<<pageShift | (a.Addr & pageMask)
+				if cyc, ok := caches.AccessFast(ctx, phys, a.Write); ok {
+					clock += compute + uint64(cyc)
+				} else {
+					res := caches.Access(ctx, phys, a.Write, node)
+					clock += compute + uint64(res.Cycles)
+				}
 			}
 			instructions += uint64(k) * (1 + compute)
 		}
@@ -259,9 +272,10 @@ func Run(cfg Config) (Metrics, error) {
 
 		// Policy tick (sampler wakeups, matrix evaluation, migrations).
 		if now >= nextTick {
+			clocksMoved := false
 			for now >= nextTick {
 				if newAff := cfg.Policy.Tick(nextTick); newAff != nil {
-					if err := checkAffinity(newAff, n, mach.NumContexts()); err != nil {
+					if err := checkAffinity(newAff, n, mach.NumContexts(), affScratch); err != nil {
 						return Metrics{}, fmt.Errorf("engine: policy %s: %w", cfg.Policy.Name(), err)
 					}
 					moved := 0
@@ -274,13 +288,20 @@ func Run(cfg Config) (Metrics, error) {
 					if moved > 0 {
 						migrations++
 						movedThreads += moved
+						clocksMoved = true
 					}
 					copy(affinity, newAff)
 				}
 				nextTick += cfg.TickIntervalCycles
 			}
-			heap.Init(&h) // clocks may have changed
-			th = h[0]
+			// Re-heapify only when a migration charged cycles: on a quiet
+			// tick h is still a valid heap and heap.Init would be a
+			// structural no-op (sift-down never swaps on ties), so skipping
+			// it cannot change the scheduling order.
+			if clocksMoved {
+				heap.Init(&h)
+				th = h[0]
+			}
 		}
 
 		k := run.Next(th.id, buf)
@@ -292,12 +313,28 @@ func Run(cfg Config) (Metrics, error) {
 		ctx := affinity[th.id]
 		clock := th.clock
 		for _, a := range buf[:k] {
-			tr := as.Access(th.id, ctx, a.Addr, a.Write, clock)
+			// Fused fast path: a TLB hit followed by an L1 hit — the vast
+			// majority of steady-state accesses — is resolved with two
+			// array probes and no Translation/AccessResult construction.
+			// Either layer falls back to its full path independently, and
+			// both fast paths perform exactly the state transitions and
+			// counter updates the full paths would, so the simulation
+			// stream is byte-identical either way.
+			frame, node, hit := as.AccessFast(ctx, a.Addr)
+			if !hit {
+				tr := as.Access(th.id, ctx, a.Addr, a.Write, clock)
+				frame, node = tr.Frame, tr.Node
+				clock += uint64(tr.Cycles)
+			}
 			// Caches are physically indexed: densely allocated frames
 			// avoid the set aliasing a sparse virtual layout would cause.
-			phys := uint64(tr.Frame)<<pageShift | (a.Addr & pageMask)
-			res := caches.Access(ctx, phys, a.Write, tr.Node)
-			clock += compute + uint64(tr.Cycles) + uint64(res.Cycles)
+			phys := uint64(frame)<<pageShift | (a.Addr & pageMask)
+			if cyc, ok := caches.AccessFast(ctx, phys, a.Write); ok {
+				clock += compute + uint64(cyc)
+			} else {
+				res := caches.Access(ctx, phys, a.Write, node)
+				clock += compute + uint64(res.Cycles)
+			}
 		}
 		instructions += uint64(k) * (1 + compute)
 		th.clock = clock
@@ -342,19 +379,27 @@ func Run(cfg Config) (Metrics, error) {
 	return m, nil
 }
 
-func checkAffinity(aff []int, n, contexts int) error {
+// checkAffinity validates a thread->context placement. scratch must have
+// length contexts; it is cleared and reused so the per-migration validation
+// allocates nothing (callers without a scratch may pass nil to allocate).
+func checkAffinity(aff []int, n, contexts int, scratch []bool) error {
 	if len(aff) != n {
 		return fmt.Errorf("affinity covers %d threads, want %d", len(aff), n)
 	}
-	seen := make(map[int]bool, n)
+	if scratch == nil {
+		scratch = make([]bool, contexts)
+	}
+	for i := range scratch {
+		scratch[i] = false
+	}
 	for t, ctx := range aff {
 		if ctx < 0 || ctx >= contexts {
 			return fmt.Errorf("thread %d mapped to invalid context %d", t, ctx)
 		}
-		if seen[ctx] {
+		if scratch[ctx] {
 			return fmt.Errorf("context %d assigned to two threads", ctx)
 		}
-		seen[ctx] = true
+		scratch[ctx] = true
 	}
 	return nil
 }

@@ -1,0 +1,120 @@
+package vm
+
+import (
+	"testing"
+
+	"spcd/internal/topology"
+)
+
+// TestAccessSteadyStateAllocFree is the allocation regression gate for the
+// MMU hot path: once a page is mapped, translating it must never allocate —
+// neither on the TLB-hit fast path nor on the full page-walk path. The
+// engine performs one translation per simulated access, so a single stray
+// allocation here multiplies into millions per run.
+func TestAccessSteadyStateAllocFree(t *testing.T) {
+	as := NewAddressSpace(topology.DefaultXeon())
+	const addr = uint64(0x5000)
+	as.Access(0, 0, addr, false, 0) // first touch: maps the page, fills the TLB
+
+	if n := testing.AllocsPerRun(200, func() {
+		as.Access(0, 0, addr, false, 1)
+	}); n != 0 {
+		t.Errorf("Access TLB-hit path allocates %.1f objects per access, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, _, ok := as.AccessFast(0, addr); !ok {
+			t.Fatal("AccessFast missed on a warm TLB entry")
+		}
+	}); n != 0 {
+		t.Errorf("AccessFast allocates %.1f objects per access, want 0", n)
+	}
+
+	// Two pages whose vpns collide in the direct-mapped TLB: alternating
+	// accesses force a page walk (TLB miss, page mapped) every time.
+	conflict := addr + uint64(tlbSize)*uint64(topology.DefaultXeon().PageSize)
+	as.Access(0, 0, conflict, false, 2)
+	if n := testing.AllocsPerRun(200, func() {
+		as.Access(0, 0, addr, false, 3)
+		as.Access(0, 0, conflict, false, 3)
+	}); n != 0 {
+		t.Errorf("Access TLB-miss walk allocates %.1f objects per access pair, want 0", n)
+	}
+}
+
+// TestAccessFastMatchesAccess checks the fast path against the full path
+// access by access: same translation, same counters, and a fast-path miss
+// whenever the full path would have charged cycles.
+func TestAccessFastMatchesAccess(t *testing.T) {
+	mach := topology.DefaultXeon()
+	fast, slow := NewAddressSpace(mach), NewAddressSpace(mach)
+	// A stream mixing first touches, TLB hits, and TLB-slot conflicts.
+	addrs := []uint64{0x1000, 0x1000, 0x2000, 0x1000,
+		0x1000 + uint64(tlbSize*mach.PageSize), 0x1000, 0x2040}
+	for i, addr := range addrs {
+		now := uint64(i)
+		want := slow.Access(0, 0, addr, false, now)
+
+		frame, node, ok := fast.AccessFast(0, addr)
+		if !ok {
+			tr := fast.Access(0, 0, addr, false, now)
+			frame, node = tr.Frame, tr.Node
+			if tr.Cycles != want.Cycles {
+				t.Fatalf("access %d (%#x): fallback cycles %d, slow path %d", i, addr, tr.Cycles, want.Cycles)
+			}
+		} else if want.Cycles != 0 {
+			t.Fatalf("access %d (%#x): fast path hit but slow path charged %d cycles", i, addr, want.Cycles)
+		}
+		if frame != want.Frame || node != want.Node {
+			t.Fatalf("access %d (%#x): fast (frame %d, node %d) != slow (frame %d, node %d)",
+				i, addr, frame, node, want.Frame, want.Node)
+		}
+	}
+	if fast.Stats() != slow.Stats() {
+		t.Errorf("stats diverged:\nfast: %+v\nslow: %+v", fast.Stats(), slow.Stats())
+	}
+}
+
+func BenchmarkAccessTLBHit(b *testing.B) {
+	as := NewAddressSpace(topology.DefaultXeon())
+	as.Access(0, 0, 0x5000, false, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		as.Access(0, 0, 0x5000, false, 1)
+	}
+}
+
+func BenchmarkAccessFastTLBHit(b *testing.B) {
+	as := NewAddressSpace(topology.DefaultXeon())
+	as.Access(0, 0, 0x5000, false, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		as.AccessFast(0, 0x5000)
+	}
+}
+
+func BenchmarkAccessTLBMissWalk(b *testing.B) {
+	m := topology.DefaultXeon()
+	as := NewAddressSpace(m)
+	a1 := uint64(0x5000)
+	a2 := a1 + uint64(tlbSize)*uint64(m.PageSize)
+	as.Access(0, 0, a1, false, 0)
+	as.Access(0, 0, a2, false, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			as.Access(0, 0, a1, false, 1)
+		} else {
+			as.Access(0, 0, a2, false, 1)
+		}
+	}
+}
+
+func BenchmarkFirstTouch(b *testing.B) {
+	m := topology.DefaultXeon()
+	as := NewAddressSpace(m)
+	page := uint64(m.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		as.Access(0, 0, uint64(i)*page, false, 0)
+	}
+}

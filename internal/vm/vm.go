@@ -85,12 +85,31 @@ type Stats struct {
 // TotalFaults returns all faults taken.
 func (s Stats) TotalFaults() uint64 { return s.FirstTouchFaults + s.InducedFaults }
 
-// pte is a page-table entry.
+// pte is a page-table entry. mapped distinguishes a never-touched slot of a
+// page-table leaf from a mapped page whose present bit was cleared by the
+// sampler (the two take different fault paths).
 type pte struct {
 	frame   int64
 	node    int8
 	present bool
+	mapped  bool
 }
+
+// Page-table leaves. Instead of one heap allocation per page (the old
+// map[vpn]*pte layout), entries live in 512-slot leaves keyed by the high
+// bits of the vpn — one allocation and one map lookup per 512-page range,
+// mirroring how a real page table shares a last-level node among neighboring
+// pages. Entry pointers are stable (leaves are never reallocated), so TLB
+// entries can cache them.
+const (
+	leafBits = 9
+	leafSize = 1 << leafBits
+	leafMask = leafSize - 1
+)
+
+// pteLeaf is a last-level page-table node covering leafSize consecutive
+// virtual pages.
+type pteLeaf [leafSize]pte
 
 // tlbSize is the number of direct-mapped entries per context TLB. Real TLBs
 // are set-associative; a direct-mapped model keeps the common-case lookup a
@@ -99,6 +118,7 @@ const tlbSize = 256
 
 type tlbEntry struct {
 	vpn   uint64
+	p     *pte // the translated entry, cached to skip the page-table walk
 	valid bool
 }
 
@@ -138,7 +158,8 @@ type AddressSpace struct {
 	alloc     AllocPolicy
 	nextRR    int // round-robin cursor for AllocInterleave
 
-	pages map[uint64]*pte
+	pages       map[uint64]*pteLeaf // page-table leaves, keyed by vpn >> leafBits
+	mappedPages int                 // pages ever touched (mapped pte slots)
 	// resident lists present pages for O(1) uniform sampling by the SPCD
 	// sampler thread; residentIdx maps vpn -> index in resident.
 	resident    []uint64
@@ -163,7 +184,7 @@ func NewAddressSpace(m *topology.Machine) *AddressSpace {
 		mach:        m,
 		pageShift:   shift,
 		costs:       DefaultCosts(),
-		pages:       make(map[uint64]*pte),
+		pages:       make(map[uint64]*pteLeaf),
 		residentIdx: make(map[uint64]int),
 		tlbs:        make([][]tlbEntry, m.NumContexts()),
 		nodePages:   make([]uint64, m.NumNodes()),
@@ -231,6 +252,53 @@ type Translation struct {
 	Faulted bool  // a page fault was taken
 }
 
+// lookupPTE returns the entry of page vpn, or nil if the page was never
+// touched. The returned pointer is stable for the life of the AddressSpace.
+func (as *AddressSpace) lookupPTE(vpn uint64) *pte {
+	leaf := as.pages[vpn>>leafBits]
+	if leaf == nil {
+		return nil
+	}
+	p := &leaf[vpn&leafMask]
+	if !p.mapped {
+		return nil
+	}
+	return p
+}
+
+// mapPage installs a fresh entry for vpn (first touch), allocating the leaf
+// if this is the first page of its 512-page range.
+func (as *AddressSpace) mapPage(vpn uint64, node int) *pte {
+	leaf := as.pages[vpn>>leafBits]
+	if leaf == nil {
+		leaf = new(pteLeaf)
+		as.pages[vpn>>leafBits] = leaf
+	}
+	p := &leaf[vpn&leafMask]
+	*p = pte{frame: as.nextFrame, node: int8(node), present: true, mapped: true}
+	as.nextFrame++
+	as.mappedPages++
+	return p
+}
+
+// AccessFast is the allocation-free fast path of Access: it succeeds only
+// on a TLB hit to a present page — the common case the engine's fused hot
+// loop short-circuits — and then updates exactly the counters Access would
+// (Accesses, TLBHits). On a miss it touches nothing and returns ok=false;
+// the caller falls back to Access, which re-runs the lookup and takes the
+// full walk/fault path. No Translation struct is built and the page table
+// is never consulted: the TLB entry carries its pte.
+func (as *AddressSpace) AccessFast(ctx int, addr uint64) (frame int64, node int, ok bool) {
+	vpn := addr >> as.pageShift
+	t := &as.tlbs[ctx][vpn%tlbSize]
+	if t.valid && t.vpn == vpn && t.p.present {
+		as.stats.Accesses++
+		as.stats.TLBHits++
+		return t.p.frame, int(t.p.node), true
+	}
+	return 0, 0, false
+}
+
 // Access translates a memory access by thread (running on context ctx) to
 // virtual address addr at simulated time now. It performs TLB lookup, page
 // walk, demand paging with first-touch placement, and delivers faults to
@@ -240,21 +308,19 @@ func (as *AddressSpace) Access(thread, ctx int, addr uint64, write bool, now uin
 	as.stats.Accesses++
 	vpn := addr >> as.pageShift
 	t := &as.tlbs[ctx][vpn%tlbSize]
-	entry := as.pages[vpn]
-	if t.valid && t.vpn == vpn && entry != nil && entry.present {
+	if t.valid && t.vpn == vpn && t.p.present {
 		as.stats.TLBHits++
-		return Translation{Frame: entry.frame, Node: int(entry.node)}
+		return Translation{Frame: t.p.frame, Node: int(t.p.node)}
 	}
 	as.stats.TLBMisses++
 	cycles := as.costs.TLBMiss
 	faulted := false
+	entry := as.lookupPTE(vpn)
 	if entry == nil {
 		// Demand-paging fault: allocate per the active NUMA policy.
 		node := as.homeNode(ctx)
-		entry = &pte{frame: as.nextFrame, node: int8(node), present: true}
-		as.nextFrame++
+		entry = as.mapPage(vpn, node)
 		as.nodePages[node]++
-		as.pages[vpn] = entry
 		as.addResident(vpn)
 		as.stats.FirstTouchFaults++
 		cycles += as.costs.FirstTouchFault
@@ -273,6 +339,7 @@ func (as *AddressSpace) Access(thread, ctx int, addr uint64, write bool, now uin
 			Write: write, Type: FaultInduced, Time: now})
 	}
 	t.vpn = vpn
+	t.p = entry
 	t.valid = true
 	return Translation{Frame: entry.frame, Node: int(entry.node), Cycles: cycles, Faulted: faulted}
 }
@@ -309,7 +376,7 @@ func (as *AddressSpace) removeResident(vpn uint64) {
 // page was present. This is the primitive the SPCD sampler thread uses to
 // create additional page faults (paper §III-B2).
 func (as *AddressSpace) ClearPresent(vpn uint64) bool {
-	entry := as.pages[vpn]
+	entry := as.lookupPTE(vpn)
 	if entry == nil || !entry.present {
 		return false
 	}
@@ -377,7 +444,7 @@ func (as *AddressSpace) TLBSize() int { return tlbSize }
 // there). The frame number changes, so physically indexed caches naturally
 // treat the moved page as cold.
 func (as *AddressSpace) MigratePage(vpn uint64, node int) bool {
-	entry := as.pages[vpn]
+	entry := as.lookupPTE(vpn)
 	if entry == nil || int(entry.node) == node || node < 0 || node >= as.mach.NumNodes() {
 		return false
 	}
@@ -399,13 +466,13 @@ func (as *AddressSpace) MigratePage(vpn uint64, node int) bool {
 
 // Present reports whether page vpn is mapped and present.
 func (as *AddressSpace) Present(vpn uint64) bool {
-	e := as.pages[vpn]
+	e := as.lookupPTE(vpn)
 	return e != nil && e.present
 }
 
 // NodeOfPage returns the NUMA node homing page vpn, or -1 if unmapped.
 func (as *AddressSpace) NodeOfPage(vpn uint64) int {
-	if e := as.pages[vpn]; e != nil {
+	if e := as.lookupPTE(vpn); e != nil {
 		return int(e.node)
 	}
 	return -1
@@ -414,5 +481,5 @@ func (as *AddressSpace) NodeOfPage(vpn uint64) int {
 // String summarizes the address space.
 func (as *AddressSpace) String() string {
 	return fmt.Sprintf("vm: %d pages mapped, %d resident, %d faults (%d induced)",
-		len(as.pages), len(as.resident), as.stats.TotalFaults(), as.stats.InducedFaults)
+		as.mappedPages, len(as.resident), as.stats.TotalFaults(), as.stats.InducedFaults)
 }

@@ -3,9 +3,20 @@
 # Runs the tier-1 build/tests plus the race detector and the spcdlint static
 # analyzers (internal/analysis). CI and pre-merge checks should run exactly
 # this.
+#
+# BENCH=1 ./verify.sh additionally runs the simulator throughput benchmarks
+# (allocation counts via -benchmem) and refreshes BENCH_engine.json via
+# cmd/perfbench. Opt-in because it adds minutes of wall time and its numbers
+# are machine-dependent.
 set -eux
 
 go build ./...
 go vet ./...
 go test -race ./...
 go run ./cmd/spcdlint ./...
+
+if [ "${BENCH:-0}" = "1" ]; then
+	go test -run '^$' -bench=. -benchmem -benchtime=100x \
+		./internal/vm ./internal/cache ./internal/engine
+	go run ./cmd/perfbench -o BENCH_engine.json
+fi
