@@ -1,6 +1,6 @@
 # Convenience targets; verify is the pre-merge gate (see ROADMAP.md).
 
-.PHONY: build test race lint verify bench
+.PHONY: build test race lint verify bench obs-smoke
 
 build:
 	go build ./...
@@ -20,3 +20,6 @@ verify:
 bench:
 	go test -run '^$$' -bench=. -benchmem -benchtime=1x ./...
 	go run ./cmd/perfbench -o BENCH_engine.json
+
+obs-smoke:
+	OBS=1 ./verify.sh

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 
@@ -101,6 +102,13 @@ func main() {
 	}
 	mach := spcd.DefaultMachine()
 
+	// Self-describing output: every result file carries the configuration
+	// that produced it, so archived tables can be reproduced exactly.
+	header := runMetadata(mach, names, pols, *class, *threads, *reps, *seed)
+	for _, line := range header {
+		fmt.Println(line)
+	}
+
 	results := make(map[string]*spcd.Results, len(names))
 	for _, name := range names {
 		w, err := spcd.NPB(name, *threads, cls)
@@ -139,21 +147,77 @@ func main() {
 		}
 	}
 	if *csvPath != "" {
-		if err := writeCSV(*csvPath, tables); err != nil {
+		if err := writeCSV(*csvPath, header, tables); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
 	}
 }
 
-// writeCSV exports every table to path, surfacing any write or close error
-// so a full disk cannot silently truncate the results.
-func writeCSV(path string, tables []*report.Table) error {
+// runMetadata renders the `# key: value` header identifying a sweep: the
+// run configuration, the simulated machine shape, and the build (git
+// revision via the binary's embedded VCS info).
+func runMetadata(mach *spcd.Machine, names, pols []string, class string, threads, reps int, seed int64) []string {
+	return []string{
+		"# npbsuite run metadata",
+		fmt.Sprintf("# kernels: %s", strings.Join(names, ",")),
+		fmt.Sprintf("# class: %s  threads: %d  reps: %d  base-seed: %d", class, threads, reps, seed),
+		fmt.Sprintf("# policies: %s", strings.Join(pols, ",")),
+		fmt.Sprintf("# machine: %d sockets x %d cores x %d SMT @ %.1f GHz, %d B pages",
+			mach.Sockets, mach.CoresPerSocket, mach.ThreadsPerCore,
+			mach.ClockHz/1e9, mach.PageSize),
+		fmt.Sprintf("# build: %s  go: %s", buildDescribe(), runtime.Version()),
+	}
+}
+
+// buildDescribe approximates `git describe` from the build info stamped
+// into the binary: the VCS revision (plus -dirty), or the module version
+// when no VCS info is available (e.g. `go test` binaries).
+func buildDescribe() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		if v := bi.Main.Version; v != "" {
+			return v
+		}
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + modified
+}
+
+// writeCSV exports the metadata header and every table to path, surfacing
+// any write or close error so a full disk cannot silently truncate the
+// results.
+func writeCSV(path string, header []string, tables []*report.Table) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	write := func() error {
+		for _, line := range header {
+			if _, err := fmt.Fprintln(f, line); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(f); err != nil {
+			return err
+		}
 		for _, t := range tables {
 			if _, err := fmt.Fprintf(f, "# %s\n", t.Title); err != nil {
 				return err

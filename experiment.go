@@ -81,6 +81,13 @@ type Experiment struct {
 	// parallelize perfectly. 0 selects GOMAXPROCS; 1 forces sequential
 	// execution.
 	Parallelism int
+
+	// Observe, if set, is called once per run before it starts and may
+	// return a fresh Probe to record that run's time series and event
+	// trace (nil leaves the run unobserved). It must return a distinct
+	// Probe per call — one Probe observes exactly one run — and may be
+	// called from concurrent worker goroutines.
+	Observe func(policyName string, rep int) *Probe
 }
 
 // Results holds all runs of an experiment, indexed by policy.
@@ -142,11 +149,16 @@ func (e Experiment) Run() (*Results, error) {
 					setErr(err)
 					continue
 				}
+				var pr *Probe
+				if e.Observe != nil {
+					pr = e.Observe(name, j.rep)
+				}
 				m, err := engine.Run(engine.Config{
 					Machine:  e.Machine,
 					Workload: e.Workload,
 					Policy:   p,
 					Seed:     e.BaseSeed + int64(j.rep) + 1,
+					Probe:    pr,
 				})
 				if err != nil {
 					setErr(fmt.Errorf("spcd: %s/%s rep %d: %w", e.Workload.Name(), name, j.rep, err))

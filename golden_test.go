@@ -98,6 +98,22 @@ func TestGoldenMetrics(t *testing.T) {
 				t.Errorf("metrics diverged from golden %s\n--- got ---\n%s--- want ---\n%s",
 					path, got, want)
 			}
+
+			// Observability must be read-only: the same run with a probe
+			// attached has to reproduce the pinned metrics bit for bit.
+			pr := spcd.NewProbe(spcd.ObsOptions{})
+			mObs, err := spcd.RunObserved(mach, w, policy, goldenSeed, pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotObs := renderMetrics(t, mObs); gotObs != got {
+				t.Errorf("enabling observability changed the metrics\n--- observed ---\n%s--- unobserved ---\n%s",
+					gotObs, got)
+			}
+			if len(pr.Samples()) == 0 || len(pr.Events()) == 0 {
+				t.Errorf("observed run recorded %d samples, %d events; want both > 0",
+					len(pr.Samples()), len(pr.Events()))
+			}
 		})
 	}
 }

@@ -62,6 +62,7 @@ var All = []*Analyzer{
 	ForeachRetain,
 	LockCheck,
 	ErrcheckIO,
+	ObsVirtualTime,
 }
 
 // ByName returns the analyzer with the given rule name, or nil.
@@ -266,6 +267,7 @@ var deterministicPkgs = map[string]bool{
 	"spcd/internal/stats":      true,
 	"spcd/internal/energy":     true,
 	"spcd/internal/hashtab":    true,
+	"spcd/internal/obs":        true,
 }
 
 // isDeterministicPkg reports whether importPath is one of the simulator

@@ -128,6 +128,14 @@ func TestErrcheckIOGolden(t *testing.T) {
 	runGolden(t, "errcheckio", "spcd/cmd/ectest", []*Analyzer{ErrcheckIO})
 }
 
+func TestObsVirtualTimeGolden(t *testing.T) {
+	runGolden(t, "obsvirtualtime", "spcd/internal/obs", []*Analyzer{ObsVirtualTime})
+}
+
+func TestObsVirtualTimeSiteGolden(t *testing.T) {
+	runGolden(t, "obsvirtualtimesite", "spcd/internal/obstest", []*Analyzer{ObsVirtualTime})
+}
+
 func TestSuppressionGolden(t *testing.T) {
 	runGolden(t, "suppress", "spcd/internal/vm", All)
 }

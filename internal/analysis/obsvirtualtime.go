@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObsVirtualTime enforces the observability layer's core contract: every
+// timestamp is a simulated cycle count, never a wall-clock read, so that
+// same-seed runs export byte-identical traces. Package spcd/internal/obs
+// itself must not import time at all, and any package that imports obs (an
+// instrumentation call site) must not call the time package's clock
+// functions — a wall-clock timestamp slipped into an Emit or Snapshot call
+// would silently break trace reproducibility.
+var ObsVirtualTime = &Analyzer{
+	Name: "obs-virtualtime",
+	Doc:  "observability code and instrumentation sites must timestamp with simulated cycles, not wall clocks",
+	Run:  runObsVirtualTime,
+}
+
+// obsPkgPath is the observability package the rule is scoped around.
+const obsPkgPath = "spcd/internal/obs"
+
+// wallClockFuncs are the time package functions that read or schedule on
+// the wall/monotonic clock. Pure value constructors (time.Date,
+// time.ParseDuration) and types (time.Duration) are not clock reads and
+// stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"Sleep":     true,
+}
+
+func runObsVirtualTime(pass *Pass) {
+	inObs := pass.Path == obsPkgPath
+	for _, file := range pass.Files {
+		f := file
+		importsObs := inObs
+		for _, imp := range f.Imports {
+			switch strings.Trim(imp.Path.Value, `"`) {
+			case obsPkgPath:
+				importsObs = true
+			case "time":
+				if inObs {
+					pass.Reportf(imp.Pos(),
+						"package obs must not import time: all observability timestamps are simulated cycles, and a wall-clock read would make same-seed traces differ")
+				}
+			}
+		}
+		if !importsObs {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			// Type references (time.Duration in a signature) are not clock
+			// reads; only function uses are policed.
+			if obj := pass.ObjectOf(sel.Sel); obj != nil {
+				if _, isType := obj.(*types.TypeName); isType {
+					return true
+				}
+			}
+			if pass.ImportedPkg(f, id) == "time" && wallClockFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock in observability-instrumented code; timestamp with the simulated cycle clock instead so same-seed traces stay byte-identical",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,17 @@
+// Golden test input for the obs-virtualtime rule, loaded under the import
+// path spcd/internal/obs: the observability package itself may not import
+// the time package at all.
+package obs
+
+import (
+	"time" // want "package obs must not import time"
+)
+
+// Stamp returns a wall-clock timestamp — forbidden in the obs layer.
+func Stamp() uint64 {
+	return uint64(time.Now().UnixNano()) // want "time.Now reads the wall clock"
+}
+
+// Cycles passes through a simulated cycle count, the only approved
+// timestamp currency.
+func Cycles(now uint64) uint64 { return now }

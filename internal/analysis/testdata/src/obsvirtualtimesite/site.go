@@ -1,0 +1,28 @@
+// Golden test input for the obs-virtualtime rule at instrumentation call
+// sites: any package importing spcd/internal/obs must timestamp with
+// simulated cycles, never the wall clock.
+package obstest
+
+import (
+	"time"
+
+	"spcd/internal/obs"
+)
+
+// Record emits an event with the simulated time — correct.
+func Record(p *obs.Probe, now uint64) {
+	p.Emit(now, "test", "tick", -1)
+}
+
+// RecordWall stamps the event with the wall clock — forbidden at
+// instrumentation sites.
+func RecordWall(p *obs.Probe) {
+	p.Emit(uint64(time.Now().UnixNano()), "test", "tick", -1) // want "time.Now reads the wall clock"
+}
+
+// Wait blocks on the monotonic clock — forbidden (a time.Duration value by
+// itself is fine; only clock reads are policed).
+func Wait(p *obs.Probe, d time.Duration) {
+	time.Sleep(d) // want "time.Sleep reads the wall clock"
+	p.Emit(0, "test", "woke", -1)
+}

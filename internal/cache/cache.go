@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"spcd/internal/obs"
 	"spcd/internal/topology"
 )
 
@@ -300,6 +301,37 @@ func New(m *topology.Machine) *Hierarchy {
 
 // Stats returns a copy of the counters.
 func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// RegisterObs wires the hierarchy into an observability probe: every Stats
+// counter becomes a registry column read at snapshot time, plus an L1
+// hit-rate gauge for the fast-path health check. The access paths are
+// untouched — they keep bumping the same plain integers they always did.
+func (h *Hierarchy) RegisterObs(p *obs.Probe) {
+	if p == nil {
+		return
+	}
+	reg := p.Registry()
+	reg.CounterFunc("cache.accesses", func() uint64 { return h.stats.Accesses })
+	reg.CounterFunc("cache.writes", func() uint64 { return h.stats.Writes })
+	reg.CounterFunc("cache.l1_hits", func() uint64 { return h.stats.L1Hits })
+	reg.CounterFunc("cache.l1_misses", func() uint64 { return h.stats.L1Misses })
+	reg.CounterFunc("cache.l2_hits", func() uint64 { return h.stats.L2Hits })
+	reg.CounterFunc("cache.l2_misses", func() uint64 { return h.stats.L2Misses })
+	reg.CounterFunc("cache.l3_hits", func() uint64 { return h.stats.L3Hits })
+	reg.CounterFunc("cache.l3_misses", func() uint64 { return h.stats.L3Misses })
+	reg.CounterFunc("cache.c2c_same_socket", func() uint64 { return h.stats.C2CSameSocket })
+	reg.CounterFunc("cache.c2c_cross_socket", func() uint64 { return h.stats.C2CCrossSocket })
+	reg.CounterFunc("cache.dram_local", func() uint64 { return h.stats.DRAMLocal })
+	reg.CounterFunc("cache.dram_remote", func() uint64 { return h.stats.DRAMRemote })
+	reg.CounterFunc("cache.invalidations", func() uint64 { return h.stats.Invalidations })
+	reg.CounterFunc("cache.stall_cycles", func() uint64 { return h.stats.StallCycles })
+	reg.GaugeFunc("cache.l1_hit_rate", func() float64 {
+		if h.stats.Accesses == 0 {
+			return 0
+		}
+		return float64(h.stats.L1Hits) / float64(h.stats.Accesses)
+	})
+}
 
 // EnablePairCounters switches on per-(context, supplier core) counting of
 // cache-to-cache transfers, the PMU-style view used by hardware-counter

@@ -3,6 +3,7 @@ package engine
 import (
 	"testing"
 
+	"spcd/internal/obs"
 	"spcd/internal/topology"
 	"spcd/internal/workloads"
 )
@@ -31,6 +32,35 @@ func BenchmarkRun(b *testing.B) {
 		accesses = m.Cache.Accesses
 	}
 	b.ReportMetric(float64(accesses), "sim-accesses/op")
+}
+
+// BenchmarkRunObserved is the obs-on counterpart of BenchmarkRun: the same
+// run with a fresh probe attached each iteration. Compare the two (and the
+// recorded BENCH_engine.json) to see the observability tax; the obs-off
+// number is the one the <2% regression gate tracks, and EXPERIMENTS.md
+// records the measured obs-on cost.
+func BenchmarkRunObserved(b *testing.B) {
+	w, err := workloads.NewNPB("SP", 8, workloads.ClassTest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr := obs.New(obs.Options{})
+		m, err := Run(Config{
+			Machine:  topology.DefaultXeon(),
+			Workload: w,
+			Policy:   &pinned{name: "bench"},
+			Seed:     1,
+			Probe:    pr,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Instructions == 0 || len(pr.Samples()) == 0 {
+			b.Fatal("observed run recorded nothing")
+		}
+	}
 }
 
 // BenchmarkRunMigrating exercises the tick path: a policy that migrates

@@ -18,10 +18,12 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 
 	"spcd/internal/cache"
 	"spcd/internal/commmatrix"
 	"spcd/internal/energy"
+	"spcd/internal/obs"
 	"spcd/internal/topology"
 	"spcd/internal/vm"
 	"spcd/internal/workloads"
@@ -83,6 +85,12 @@ type Config struct {
 	// AllocPolicy selects the NUMA page-homing policy (numactl-style);
 	// the zero value is first-touch, the paper's setting.
 	AllocPolicy vm.AllocPolicy
+	// Probe, when non-nil, records a virtual-time metrics time series and
+	// event trace for this run (see internal/obs). The probe must be fresh:
+	// one Probe observes exactly one run. nil disables observability; the
+	// disabled path costs one sentinel comparison per scheduling slice and
+	// allocates nothing.
+	Probe *obs.Probe
 }
 
 // normalize fills in defaults and validates.
@@ -199,6 +207,20 @@ func Run(cfg Config) (Metrics, error) {
 	caches := cache.New(mach)
 	run := cfg.Workload.NewRun(cfg.Seed)
 
+	// Observability wiring happens before Policy.Init so a policy that
+	// implements obs.Observer can register its own metrics and emit events
+	// from the very first tick. Everything here is off the access path: the
+	// registry reads subsystem counters through closures at snapshot time.
+	probe := cfg.Probe
+	if probe != nil {
+		probe.SetDefaultClockHz(mach.ClockHz)
+		as.RegisterObs(probe)
+		caches.RegisterObs(probe)
+		if o, ok := cfg.Policy.(obs.Observer); ok {
+			o.SetProbe(probe)
+		}
+	}
+
 	env := &Env{Machine: mach, AS: as, Caches: caches, Workload: cfg.Workload, Seed: cfg.Seed, NumThreads: n}
 	if err := cfg.Policy.Init(env); err != nil {
 		return Metrics{}, err
@@ -225,6 +247,30 @@ func Run(cfg Config) (Metrics, error) {
 	var execCycles uint64
 	migrations, movedThreads := 0, 0
 	nextTick := cfg.TickIntervalCycles
+
+	// nextSample is the next registry-snapshot boundary; the MaxUint64
+	// sentinel makes the disabled path a single always-false comparison in
+	// the scheduling loop (no pointer chase, no branch on probe).
+	nextSample := uint64(math.MaxUint64)
+	var sampleInterval uint64
+	var movedHist *obs.Histogram
+	if probe != nil {
+		reg := probe.Registry()
+		reg.CounterFunc("engine.instructions", func() uint64 { return instructions })
+		reg.CounterFunc("engine.migrations", func() uint64 { return uint64(migrations) })
+		reg.CounterFunc("engine.migrated_threads", func() uint64 { return uint64(movedThreads) })
+		movedHist = reg.Histogram("engine.moved_per_remap", []float64{1, 2, 4, 8, 16})
+		sampleInterval = probe.SampleIntervalCycles()
+		if sampleInterval == 0 {
+			// ~256 rows per run regardless of workload class.
+			sampleInterval = workloads.NominalCycles(cfg.Workload) / 256
+			if sampleInterval == 0 {
+				sampleInterval = 1
+			}
+		}
+		nextSample = sampleInterval
+		probe.Snapshot(0)
+	}
 
 	// Serial initialization phase: the master thread (thread 0) touches
 	// the data set, homing pages by first touch, before the parallel
@@ -261,6 +307,9 @@ func Run(cfg Config) (Metrics, error) {
 		for _, th := range threads {
 			th.clock = clock
 		}
+		if probe != nil {
+			probe.Emit(clock, "engine", "init.done", -1, obs.Uint("cycles", clock))
+		}
 	}
 
 	for h.Len() > 0 {
@@ -283,12 +332,21 @@ func Run(cfg Config) (Metrics, error) {
 						if newAff[t] != affinity[t] {
 							moved++
 							threads[t].clock += cfg.MigrationCostCycles
+							if probe != nil {
+								probe.Emit(nextTick, "engine", "migrate", t,
+									obs.Uint("from_ctx", uint64(affinity[t])),
+									obs.Uint("to_ctx", uint64(newAff[t])))
+							}
 						}
 					}
 					if moved > 0 {
 						migrations++
 						movedThreads += moved
 						clocksMoved = true
+						if probe != nil {
+							probe.Emit(nextTick, "engine", "remap", -1, obs.Uint("moved", uint64(moved)))
+							movedHist.Observe(float64(moved))
+						}
 					}
 					copy(affinity, newAff)
 				}
@@ -304,9 +362,17 @@ func Run(cfg Config) (Metrics, error) {
 			}
 		}
 
+		// Registry snapshot boundaries (off when nextSample is the sentinel).
+		// Boundary-timestamped so same-seed runs sample at identical instants.
+		for nextSample <= now {
+			probe.Snapshot(nextSample)
+			nextSample += sampleInterval
+		}
+
 		k := run.Next(th.id, buf)
 		if k == 0 {
 			th.done = true
+			probe.Emit(th.clock, "engine", "thread.done", th.id)
 			heap.Pop(&h)
 			continue
 		}
@@ -345,6 +411,9 @@ func Run(cfg Config) (Metrics, error) {
 		if th.clock > execCycles {
 			execCycles = th.clock
 		}
+	}
+	if probe != nil {
+		probe.Snapshot(execCycles)
 	}
 
 	m := Metrics{

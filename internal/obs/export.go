@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Exporters render one probe's data as artifacts. Both formats are fully
+// deterministic for a given probe state: columns appear in registration
+// order, events in emission order, floats in shortest-exact form — so
+// same-seed runs produce byte-identical files (the determinism regression
+// test asserts exactly this).
+
+// defaultClockHz is used when neither the Options nor the engine supplied a
+// clock (a probe exported without ever entering engine.Run); it matches the
+// paper machine's 2.0 GHz.
+const defaultClockHz = 2.0e9
+
+// jstr renders s as a JSON string literal.
+func jstr(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Marshal of a string cannot fail; keep the exporter total anyway.
+		return `"<unencodable>"`
+	}
+	return string(b)
+}
+
+// appendArgs renders an ordered arg list as a JSON object.
+func appendArgs(buf *bytes.Buffer, args []Arg) {
+	buf.WriteByte('{')
+	for i, a := range args {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString(jstr(a.Key))
+		buf.WriteByte(':')
+		switch a.kind {
+		case argString:
+			buf.WriteString(jstr(a.s))
+		case argUint:
+			buf.WriteString(strconv.FormatUint(a.u, 10))
+		case argFloat:
+			buf.WriteString(formatFloat(a.f))
+		}
+	}
+	buf.WriteByte('}')
+}
+
+// WriteChromeTrace writes the probe's events and time series in the Chrome
+// trace_event JSON format (the "JSON Array Format" variant wrapped in an
+// object), loadable in chrome://tracing and Perfetto. Instant events land
+// on per-thread lanes (tid = thread+1; run-scoped events on tid 0), and
+// every registry column becomes a counter track ("ph":"C") — counters as
+// per-interval deltas, gauges as sampled values — so migrations line up
+// visually with the traffic they change.
+func WriteChromeTrace(w io.Writer, p *Probe) error {
+	if p == nil {
+		_, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[]}`+"\n")
+		return err
+	}
+	hz := p.opts.ClockHz
+	if hz == 0 {
+		hz = defaultClockHz
+	}
+	usPerCycle := 1e6 / hz
+	ts := func(cycles uint64) string {
+		return strconv.FormatFloat(float64(cycles)*usPerCycle, 'f', -1, 64)
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			buf.WriteString(",\n")
+		}
+		first = false
+		buf.WriteString(line)
+	}
+
+	// Lane metadata: the run-scoped lane plus one lane per thread seen.
+	emit(`{"name":"process_name","ph":"M","pid":0,"args":{"name":"spcd simulator"}}`)
+	emit(`{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"run"}}`)
+	maxThread := -1
+	for _, e := range p.events {
+		if e.Thread > maxThread {
+			maxThread = e.Thread
+		}
+	}
+	for t := 0; t <= maxThread; t++ {
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"thread %d"}}`, t+1, t))
+	}
+
+	// Merge events and counter samples by virtual time (both streams are
+	// already time-ordered; at ties, events come first).
+	kinds := p.reg.Kinds()
+	cols := p.reg.Columns()
+	prev := make([]float64, len(cols))
+	var evtBuf bytes.Buffer
+	ei, si := 0, 0
+	for ei < len(p.events) || si < len(p.samples) {
+		if ei < len(p.events) && (si >= len(p.samples) || p.events[ei].Time <= p.samples[si].Time) {
+			e := p.events[ei]
+			ei++
+			tid, scope := 0, "g"
+			if e.Thread >= 0 {
+				tid, scope = e.Thread+1, "t"
+			}
+			evtBuf.Reset()
+			fmt.Fprintf(&evtBuf, `{"name":%s,"cat":%s,"ph":"i","s":"%s","ts":%s,"pid":0,"tid":%d,"args":`,
+				jstr(e.Name), jstr(e.Cat), scope, ts(e.Time), tid)
+			appendArgs(&evtBuf, e.Args)
+			evtBuf.WriteByte('}')
+			emit(evtBuf.String())
+			continue
+		}
+		s := p.samples[si]
+		si++
+		for c := range cols {
+			v := s.Values[c]
+			if kinds[c] == KindCounter {
+				v, prev[c] = v-prev[c], v
+			}
+			emit(fmt.Sprintf(`{"name":%s,"ph":"C","ts":%s,"pid":0,"args":{"value":%s}}`,
+				jstr(cols[c]), ts(s.Time), formatFloat(v)))
+		}
+	}
+	buf.WriteString("\n]}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// WriteTimeSeriesCSV writes the sampled registry as CSV: a time_cycles
+// column followed by one column per metric in registration order. Counter
+// columns hold per-interval deltas (the rate a timeline plot wants);
+// gauge columns hold the sampled value.
+func WriteTimeSeriesCSV(w io.Writer, p *Probe) error {
+	var buf bytes.Buffer
+	buf.WriteString("time_cycles")
+	if p != nil {
+		for _, name := range p.reg.Columns() {
+			buf.WriteByte(',')
+			buf.WriteString(name)
+		}
+	}
+	buf.WriteByte('\n')
+	if p != nil {
+		kinds := p.reg.Kinds()
+		prev := make([]float64, len(kinds))
+		for _, s := range p.samples {
+			buf.WriteString(strconv.FormatUint(s.Time, 10))
+			for c, v := range s.Values {
+				if kinds[c] == KindCounter {
+					v, prev[c] = v-prev[c], v
+				}
+				buf.WriteByte(',')
+				buf.WriteString(formatFloat(v))
+			}
+			buf.WriteByte('\n')
+		}
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}

@@ -1,0 +1,177 @@
+// Package obs is the simulator's observability layer: a metrics registry
+// (counters, gauges, fixed-bucket histograms) snapshotted into a
+// deterministic virtual-time series, plus a structured event trace (thread
+// migrations, policy evaluations, sampler batches, workload milestones)
+// recorded in simulated cycles and exportable as Chrome trace_event JSON
+// and CSV.
+//
+// Design rules:
+//
+//   - Virtual time only. Every timestamp is a simulated cycle count taken
+//     from the engine's clocks; nothing in this package may read the wall
+//     clock (enforced by the spcdlint obs-virtualtime rule). Same-seed runs
+//     therefore produce byte-identical artifacts.
+//
+//   - Nil-probe pattern. Instrumented code holds a possibly-nil *Probe (or
+//     a nil *Histogram/*Counter) and the disabled path costs one pointer or
+//     sentinel check and zero allocations; all exported methods are no-ops
+//     on a nil receiver. Hot loops never see the probe at all: subsystem
+//     counters are plain integers that the registry reads through closures
+//     at snapshot time, off the access path.
+//
+//   - One Probe per run. The registry's columns and the sample/event
+//     buffers belong to a single simulation; reuse panics on duplicate
+//     metric registration.
+package obs
+
+// Options configures a Probe.
+type Options struct {
+	// SampleIntervalCycles is the virtual-time distance between registry
+	// snapshots. 0 lets the engine pick a default scaled to the workload's
+	// nominal duration (~256 samples per run).
+	SampleIntervalCycles uint64
+	// ClockHz converts simulated cycles to trace timestamps (Chrome traces
+	// are denominated in microseconds). 0 lets the engine fill in the
+	// simulated machine's clock.
+	ClockHz float64
+}
+
+// Sample is one row of the time series: the registry's column values read
+// at a virtual-time instant.
+type Sample struct {
+	Time   uint64 // simulated cycles
+	Values []float64
+}
+
+// Event is one structured trace event at a virtual-time instant.
+type Event struct {
+	Time   uint64 // simulated cycles
+	Cat    string // subsystem: "engine", "spcd", "os", ...
+	Name   string // event name: "remap", "migrate", "evaluate", ...
+	Thread int    // application thread lane, or -1 for run-scoped events
+	Args   []Arg  // ordered key/value payload
+}
+
+// argKind discriminates Arg payloads.
+type argKind int
+
+const (
+	argString argKind = iota
+	argUint
+	argFloat
+)
+
+// Arg is one ordered key/value pair of an event payload. Ordered slices
+// (not maps) keep JSON export deterministic.
+type Arg struct {
+	Key  string
+	kind argKind
+	s    string
+	u    uint64
+	f    float64
+}
+
+// Str builds a string-valued event argument.
+func Str(key, v string) Arg { return Arg{Key: key, kind: argString, s: v} }
+
+// Uint builds an integer-valued event argument.
+func Uint(key string, v uint64) Arg { return Arg{Key: key, kind: argUint, u: v} }
+
+// Float builds a float-valued event argument.
+func Float(key string, v float64) Arg { return Arg{Key: key, kind: argFloat, f: v} }
+
+// Probe collects one run's observability data. The zero value is not
+// usable; construct with New. A nil *Probe is the disabled layer: every
+// method is a no-op.
+type Probe struct {
+	opts    Options
+	reg     Registry
+	samples []Sample
+	events  []Event
+}
+
+// New creates a probe for one simulation run.
+func New(opts Options) *Probe { return &Probe{opts: opts} }
+
+// Enabled reports whether the probe records anything (false for nil).
+func (p *Probe) Enabled() bool { return p != nil }
+
+// Registry returns the probe's metric registry (nil for a nil probe).
+func (p *Probe) Registry() *Registry {
+	if p == nil {
+		return nil
+	}
+	return &p.reg
+}
+
+// SampleIntervalCycles returns the configured snapshot interval (0 = let
+// the engine choose).
+func (p *Probe) SampleIntervalCycles() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.opts.SampleIntervalCycles
+}
+
+// ClockHz returns the cycle-to-seconds conversion rate for exports.
+func (p *Probe) ClockHz() float64 {
+	if p == nil {
+		return 0
+	}
+	return p.opts.ClockHz
+}
+
+// SetDefaultClockHz fills in ClockHz when the caller left it zero; the
+// engine calls it with the simulated machine's clock.
+func (p *Probe) SetDefaultClockHz(hz float64) {
+	if p == nil || p.opts.ClockHz != 0 {
+		return
+	}
+	p.opts.ClockHz = hz
+}
+
+// Snapshot appends one time-series row with the registry's current values.
+// now is simulated cycles. No-op on a nil probe.
+func (p *Probe) Snapshot(now uint64) {
+	if p == nil {
+		return
+	}
+	vals := make([]float64, len(p.reg.cols))
+	p.reg.readInto(vals)
+	p.samples = append(p.samples, Sample{Time: now, Values: vals})
+}
+
+// Emit appends one trace event. now is simulated cycles; thread is the
+// application thread the event belongs to, or -1 for run-scoped events.
+// No-op on a nil probe (and, called with no args, allocation-free).
+func (p *Probe) Emit(now uint64, cat, name string, thread int, args ...Arg) {
+	if p == nil {
+		return
+	}
+	p.events = append(p.events, Event{Time: now, Cat: cat, Name: name, Thread: thread, Args: args})
+}
+
+// Samples returns the recorded time series (nil for a nil probe). The
+// returned slice is the live buffer; callers must not modify it.
+func (p *Probe) Samples() []Sample {
+	if p == nil {
+		return nil
+	}
+	return p.samples
+}
+
+// Events returns the recorded events (nil for a nil probe). The returned
+// slice is the live buffer; callers must not modify it.
+func (p *Probe) Events() []Event {
+	if p == nil {
+		return nil
+	}
+	return p.events
+}
+
+// Observer is implemented by policies (and other pluggable components)
+// that emit their own events when observability is on. The engine calls
+// SetProbe before Init when a run is configured with a probe.
+type Observer interface {
+	SetProbe(*Probe)
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNilProbeIsFreeNoOp pins the disabled-layer contract: every operation
+// on a nil probe (and nil metric handles) is a safe no-op that allocates
+// nothing — the "one pointer check, zero allocations" promise the engine's
+// hot path relies on.
+func TestNilProbeIsFreeNoOp(t *testing.T) {
+	var p *Probe
+	var h *Histogram
+	var c *Counter
+	var g *Gauge
+	if n := testing.AllocsPerRun(200, func() {
+		p.Snapshot(7)
+		p.Emit(9, "engine", "remap", -1)
+		h.Observe(3)
+		c.Inc()
+		g.Set(1.5)
+	}); n != 0 {
+		t.Errorf("nil-probe operations allocated %.1f per run, want 0", n)
+	}
+	if p.Enabled() || p.Samples() != nil || p.Events() != nil || p.Registry() != nil {
+		t.Error("nil probe must report disabled and empty")
+	}
+	if p.SampleIntervalCycles() != 0 || p.ClockHz() != 0 {
+		t.Error("nil probe must report zero configuration")
+	}
+	p.SetDefaultClockHz(2e9) // must not panic
+}
+
+// TestRegistrySampling checks column ordering, counter/gauge kinds, and
+// histogram bucket expansion.
+func TestRegistrySampling(t *testing.T) {
+	p := New(Options{})
+	r := p.Registry()
+	var faults uint64
+	r.CounterFunc("vm.faults", func() uint64 { return faults })
+	resident := r.Gauge("vm.resident")
+	hist := r.Histogram("vm.fault_cycles", []float64{10, 100})
+
+	wantCols := []string{"vm.faults", "vm.resident", "vm.fault_cycles:le:10", "vm.fault_cycles:le:100", "vm.fault_cycles:le:inf"}
+	got := r.Columns()
+	if len(got) != len(wantCols) {
+		t.Fatalf("columns = %v, want %v", got, wantCols)
+	}
+	for i := range got {
+		if got[i] != wantCols[i] {
+			t.Fatalf("columns = %v, want %v", got, wantCols)
+		}
+	}
+	if r.ColumnIndex("vm.resident") != 1 || r.ColumnIndex("nope") != -1 {
+		t.Error("ColumnIndex misresolved")
+	}
+
+	faults = 3
+	resident.Set(12)
+	hist.Observe(5)
+	hist.Observe(50)
+	hist.Observe(5000)
+	p.Snapshot(100)
+	faults = 10
+	resident.Set(8)
+	hist.Observe(7)
+	p.Snapshot(200)
+
+	s := p.Samples()
+	if len(s) != 2 {
+		t.Fatalf("samples = %d, want 2", len(s))
+	}
+	if s[0].Time != 100 || s[1].Time != 200 {
+		t.Errorf("sample times = %d, %d", s[0].Time, s[1].Time)
+	}
+	if s[1].Values[0] != 10 || s[1].Values[1] != 8 {
+		t.Errorf("sample values = %v", s[1].Values)
+	}
+	if s[1].Values[2] != 2 || s[1].Values[3] != 1 || s[1].Values[4] != 1 {
+		t.Errorf("histogram buckets = %v, want cumulative [2 1 1]", s[1].Values[2:])
+	}
+	if hist.Count() != 4 {
+		t.Errorf("hist count = %d, want 4", hist.Count())
+	}
+}
+
+// TestCSVDeltaSemantics pins the CSV shape: counters export per-interval
+// deltas, gauges export sampled values.
+func TestCSVDeltaSemantics(t *testing.T) {
+	p := New(Options{})
+	r := p.Registry()
+	c := r.Counter("c2c")
+	g := r.Gauge("hitrate")
+	c.Add(5)
+	g.Set(0.5)
+	p.Snapshot(10)
+	c.Add(2)
+	g.Set(0.25)
+	p.Snapshot(20)
+
+	var buf bytes.Buffer
+	if err := WriteTimeSeriesCSV(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	want := "time_cycles,c2c,hitrate\n10,5,0.5\n20,2,0.25\n"
+	if buf.String() != want {
+		t.Errorf("csv:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestChromeTraceShape validates that the exported trace parses as JSON,
+// carries the expected lanes and counter tracks, and is byte-stable across
+// repeated exports.
+func TestChromeTraceShape(t *testing.T) {
+	p := New(Options{ClockHz: 2e9})
+	r := p.Registry()
+	c := r.Counter("engine.migrations")
+	p.Emit(1000, "engine", "init.done", -1, Uint("cycles", 1000))
+	c.Inc()
+	p.Snapshot(2000)
+	p.Emit(3000, "engine", "migrate", 4,
+		Uint("from_ctx", 1), Uint("to_ctx", 9), Str("why", `tie "quote"`), Float("gain", 0.25))
+	p.Snapshot(4000)
+
+	var b1, b2 bytes.Buffer
+	if err := WriteChromeTrace(&b1, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b2, p); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("repeated exports differ")
+	}
+
+	var doc struct {
+		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+		TraceEvents     []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b1.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, b1.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var instants, counters, metas int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "i":
+			instants++
+		case "C":
+			counters++
+		case "M":
+			metas++
+		}
+	}
+	if instants != 2 {
+		t.Errorf("instant events = %d, want 2", instants)
+	}
+	if counters != 2 { // one column x two samples
+		t.Errorf("counter events = %d, want 2", counters)
+	}
+	// process_name + run lane + 5 thread lanes (0..4, from the tid-4 event).
+	if metas != 7 {
+		t.Errorf("metadata events = %d, want 7", metas)
+	}
+	// ts is microseconds at 2 GHz: cycle 3000 -> 1.5 us.
+	if !strings.Contains(b1.String(), `"ts":1.5,`) {
+		t.Error("expected cycle 3000 to convert to ts 1.5 us at 2 GHz")
+	}
+}
+
+// TestDuplicateMetricPanics pins the one-probe-per-run contract.
+func TestDuplicateMetricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	p := New(Options{})
+	p.Registry().Counter("dup")
+	p.Registry().Counter("dup")
+}
+
+// TestEmptyProbeExports: exporting a probe with no samples or events still
+// produces parseable artifacts (and a nil probe an empty trace).
+func TestEmptyProbeExports(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Errorf("nil-probe trace is not valid JSON: %s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, New(Options{})); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Errorf("empty-probe trace is not valid JSON: %s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteTimeSeriesCSV(&buf, New(Options{})); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "time_cycles\n" {
+		t.Errorf("empty CSV = %q", buf.String())
+	}
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind classifies a registry column for export purposes.
+type Kind int
+
+const (
+	// KindCounter marks a monotonically non-decreasing count. Exporters
+	// render counters as per-interval deltas, which is the quantity a
+	// timeline plot wants (events per sample interval, e.g. cross-socket
+	// transfers per tick), and what makes a post-remap traffic drop
+	// directly visible in the CSV.
+	KindCounter Kind = iota
+	// KindGauge marks an instantaneous value (resident pages, a hit rate);
+	// exporters render the sampled value as-is.
+	KindGauge
+)
+
+// column is one registered metric column of the time series.
+type column struct {
+	name string
+	kind Kind
+	read func() float64
+}
+
+// Registry holds the metric columns of one simulation run. Columns are
+// sampled in registration order, which makes the exported time series
+// deterministic; registering the same name twice panics, because it is
+// always a wiring bug (typically a Probe reused across two runs).
+//
+// Registration and sampling happen off the simulation's hot path: the
+// registry reads subsystem counters through closures at snapshot time, so
+// the instrumented code keeps plain integer counters and pays nothing for
+// being observable.
+type Registry struct {
+	cols []column
+	seen map[string]bool
+}
+
+func (r *Registry) add(name string, kind Kind, read func() float64) {
+	if r.seen == nil {
+		r.seen = make(map[string]bool)
+	}
+	if r.seen[name] {
+		panic(fmt.Sprintf("obs: metric %q registered twice (one Probe per run; build a fresh Probe for every simulation)", name))
+	}
+	r.seen[name] = true
+	r.cols = append(r.cols, column{name: name, kind: kind, read: read})
+}
+
+// CounterFunc registers a counter column whose value is read from f at every
+// snapshot. f must be monotonically non-decreasing over the run.
+func (r *Registry) CounterFunc(name string, f func() uint64) {
+	r.add(name, KindCounter, func() float64 { return float64(f()) })
+}
+
+// GaugeFunc registers a gauge column whose value is read from f at every
+// snapshot.
+func (r *Registry) GaugeFunc(name string, f func() float64) {
+	r.add(name, KindGauge, f)
+}
+
+// Counter is an owned monotonic counter (for code that has no existing
+// stats struct to read from). The nil *Counter is a no-op, so disabled
+// instrumentation costs one pointer check.
+type Counter struct{ v uint64 }
+
+// Counter registers and returns an owned counter column.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.add(name, KindCounter, func() float64 { return float64(c.v) })
+	return c
+}
+
+// Add increments the counter by n. Safe on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc increments the counter by one. Safe on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an owned instantaneous value. The nil *Gauge is a no-op.
+type Gauge struct{ v float64 }
+
+// Gauge registers and returns an owned gauge column.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := &Gauge{}
+	r.add(name, KindGauge, func() float64 { return g.v })
+	return g
+}
+
+// Set stores v. Safe on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Value returns the current value (0 for a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket histogram: bounds are inclusive upper edges,
+// plus an implicit overflow bucket. Buckets export as counter columns
+// (name:le:<bound> and name:le:inf), so the time series shows per-interval
+// bucket fills. The nil *Histogram is a no-op, which is the disabled-probe
+// fast path: instrumented code holds a possibly-nil *Histogram and calls
+// Observe unconditionally, paying one pointer check when observability is
+// off.
+type Histogram struct {
+	bounds []float64
+	counts []uint64
+}
+
+// Histogram registers a fixed-bucket histogram. bounds must be strictly
+// increasing and non-empty.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one bucket bound", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds must be strictly increasing", name))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	for i, b := range h.bounds {
+		i := i
+		r.add(name+":le:"+formatFloat(b), KindCounter,
+			func() float64 { return float64(h.counts[i]) })
+	}
+	r.add(name+":le:inf", KindCounter,
+		func() float64 { return float64(h.counts[len(h.bounds)]) })
+	return h
+}
+
+// Observe records one value. Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the total number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for _, c := range h.counts {
+		n += c
+	}
+	return n
+}
+
+// Columns returns the column names in sampling order.
+func (r *Registry) Columns() []string {
+	out := make([]string, len(r.cols))
+	for i, c := range r.cols {
+		out[i] = c.name
+	}
+	return out
+}
+
+// Kinds returns the column kinds, aligned with Columns.
+func (r *Registry) Kinds() []Kind {
+	out := make([]Kind, len(r.cols))
+	for i, c := range r.cols {
+		out[i] = c.kind
+	}
+	return out
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (r *Registry) ColumnIndex(name string) int {
+	for i, c := range r.cols {
+		if c.name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// readInto fills dst (len == len(cols)) with the current column values.
+func (r *Registry) readInto(dst []float64) {
+	for i, c := range r.cols {
+		dst[i] = c.read()
+	}
+}
+
+// formatFloat renders a float64 in the shortest exact form, the single
+// formatting used by every exporter so artifacts are byte-stable.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

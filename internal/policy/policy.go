@@ -22,6 +22,7 @@ import (
 	"spcd/internal/engine"
 	"spcd/internal/hashtab"
 	"spcd/internal/mapping"
+	"spcd/internal/obs"
 	"spcd/internal/topology"
 	"spcd/internal/trace"
 )
@@ -54,6 +55,8 @@ type OS struct {
 	churnInterval uint64  // cycles between load-balance decisions
 	churnProb     float64 // probability a decision swaps two threads
 	nextChurn     uint64
+
+	probe *obs.Probe // nil unless the run is observed
 }
 
 // NewOS creates the baseline policy.
@@ -78,6 +81,10 @@ func (p *OS) Init(env *engine.Env) error {
 // InitialAffinity implements engine.Policy.
 func (p *OS) InitialAffinity() []int { return append([]int(nil), p.aff...) }
 
+// SetProbe implements obs.Observer; the engine calls it before Init on
+// observed runs.
+func (p *OS) SetProbe(pr *obs.Probe) { p.probe = pr }
+
 // Tick occasionally swaps two threads, modeling communication-blind load
 // balancing churn.
 func (p *OS) Tick(now uint64) []int {
@@ -93,6 +100,10 @@ func (p *OS) Tick(now uint64) []int {
 		return nil
 	}
 	p.aff[i], p.aff[j] = p.aff[j], p.aff[i]
+	if p.probe != nil {
+		p.probe.Emit(now, "os", "churn", -1,
+			obs.Uint("thread_a", uint64(i)), obs.Uint("thread_b", uint64(j)))
+	}
 	return append([]int(nil), p.aff...)
 }
 
@@ -260,6 +271,8 @@ type SPCD struct {
 	dataMigCycles   uint64
 	pagesPerRegion  uint64
 	regionPageShift uint
+
+	probe *obs.Probe // nil unless the run is observed
 }
 
 // NewSPCD creates the SPCD policy with the given options (zero value =
@@ -325,10 +338,57 @@ func (p *SPCD) Init(env *engine.Env) error {
 // communication-blind placement as the OS and improves it online.
 func (p *SPCD) InitialAffinity() []int { return p.mig.affinity() }
 
+// SetProbe implements obs.Observer; the engine calls it before Init on
+// observed runs. Detector and sampler counters are registered through
+// closures that the registry reads at snapshot time, after Init has built
+// them (the guards cover a probe snapshotted before Init, which only
+// happens in tests).
+func (p *SPCD) SetProbe(pr *obs.Probe) {
+	p.probe = pr
+	if pr == nil {
+		return
+	}
+	reg := pr.Registry()
+	reg.CounterFunc("spcd.faults_seen", func() uint64 {
+		if p.detector == nil {
+			return 0
+		}
+		return p.detector.Stats().FaultsSeen
+	})
+	reg.CounterFunc("spcd.comm_events", func() uint64 {
+		if p.detector == nil {
+			return 0
+		}
+		return p.detector.Stats().CommEvents
+	})
+	reg.CounterFunc("spcd.detection_cycles", func() uint64 {
+		if p.detector == nil {
+			return 0
+		}
+		return p.detector.Stats().DetectionCycles
+	})
+	reg.CounterFunc("spcd.sampler_wakeups", func() uint64 {
+		if p.sampler == nil {
+			return 0
+		}
+		return p.sampler.Stats().Wakeups
+	})
+	reg.CounterFunc("spcd.pages_cleared", func() uint64 {
+		if p.sampler == nil {
+			return 0
+		}
+		return p.sampler.Stats().PagesCleared
+	})
+	reg.CounterFunc("spcd.page_migrations", func() uint64 { return p.dataMigrations })
+}
+
 // Tick runs the sampler on its own schedule and periodically evaluates the
 // communication matrix through the filter, migrating when it triggers.
 func (p *SPCD) Tick(now uint64) []int {
-	p.sampler.MaybeRun(now)
+	if cleared := p.sampler.MaybeRun(now); cleared > 0 && p.probe != nil {
+		p.probe.Emit(now, "spcd", "sampler.batch", -1,
+			obs.Uint("pages_cleared", uint64(cleared)))
+	}
 	if now < p.nextEval {
 		return nil
 	}
@@ -341,6 +401,12 @@ func (p *SPCD) Tick(now uint64) []int {
 	matrix := p.detector.Snapshot()
 	if p.opts.OnEvaluate != nil {
 		p.opts.OnEvaluate(now, matrix)
+	}
+	if p.probe != nil {
+		p.probe.Emit(now, "spcd", "evaluate", -1,
+			obs.Uint("comm_events", p.detector.Stats().CommEvents),
+			obs.Float("matrix_total", matrix.Total()),
+			obs.Float("heterogeneity", matrix.Heterogeneity()))
 	}
 	decay := p.opts.DecayFactor
 	if decay == 0 {
@@ -400,6 +466,10 @@ func (p *SPCD) Tick(now uint64) []int {
 	}
 	if p.opts.OnMigrate != nil {
 		p.opts.OnMigrate(now, append([]int(nil), aff...), matrix)
+	}
+	if p.probe != nil {
+		p.probe.Emit(now, "spcd", "remap", -1,
+			obs.Float("heterogeneity", matrix.Heterogeneity()))
 	}
 	return aff
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"spcd/internal/obs"
 	"spcd/internal/topology"
 )
 
@@ -172,6 +173,11 @@ type AddressSpace struct {
 	nextFrame int64
 	nodePages []uint64 // frames allocated per NUMA node
 	stats     Stats
+
+	// obsFault records fault-handler cycles when observability is on. The
+	// nil histogram is a no-op, and it is only touched on the (rare) fault
+	// path — the TLB-hit fast path never sees it.
+	obsFault *obs.Histogram
 }
 
 // NewAddressSpace creates the MMU state for one application on machine m.
@@ -234,6 +240,36 @@ func (as *AddressSpace) AddHandler(h Handler) { as.handlers = append(as.handlers
 
 // Stats returns a copy of the counters.
 func (as *AddressSpace) Stats() Stats { return as.stats }
+
+// RegisterObs wires the MMU into an observability probe: every Stats counter
+// becomes a registry column read at snapshot time (the counters themselves
+// stay plain integers — zero cost on the access path), plus a TLB hit-rate
+// gauge, a resident-page gauge, and a fault-handler-cycles histogram fed
+// from the fault path only.
+func (as *AddressSpace) RegisterObs(p *obs.Probe) {
+	if p == nil {
+		return
+	}
+	reg := p.Registry()
+	reg.CounterFunc("vm.accesses", func() uint64 { return as.stats.Accesses })
+	reg.CounterFunc("vm.tlb_hits", func() uint64 { return as.stats.TLBHits })
+	reg.CounterFunc("vm.tlb_misses", func() uint64 { return as.stats.TLBMisses })
+	reg.CounterFunc("vm.first_touch_faults", func() uint64 { return as.stats.FirstTouchFaults })
+	reg.CounterFunc("vm.induced_faults", func() uint64 { return as.stats.InducedFaults })
+	reg.CounterFunc("vm.present_cleared", func() uint64 { return as.stats.PresentCleared })
+	reg.CounterFunc("vm.shootdowns", func() uint64 { return as.stats.Shootdowns })
+	reg.CounterFunc("vm.page_migrations", func() uint64 { return as.stats.PageMigrations })
+	reg.GaugeFunc("vm.resident_pages", func() float64 { return float64(len(as.resident)) })
+	reg.GaugeFunc("vm.tlb_hit_rate", func() float64 {
+		if as.stats.Accesses == 0 {
+			return 0
+		}
+		return float64(as.stats.TLBHits) / float64(as.stats.Accesses)
+	})
+	// Bucket edges bracket the cost model: a bare walk (~40), walk +
+	// induced restore or first touch (~840-1040), and pile-ups beyond.
+	as.obsFault = reg.Histogram("vm.fault_cycles", []float64{64, 256, 1024, 4096})
+}
 
 // ResidentPages returns the number of mapped, present pages.
 func (as *AddressSpace) ResidentPages() int { return len(as.resident) }
@@ -325,6 +361,7 @@ func (as *AddressSpace) Access(thread, ctx int, addr uint64, write bool, now uin
 		as.stats.FirstTouchFaults++
 		cycles += as.costs.FirstTouchFault
 		faulted = true
+		as.obsFault.Observe(float64(cycles))
 		as.fireFault(Fault{Thread: thread, Context: ctx, Page: vpn, Addr: addr,
 			Write: write, Type: FaultFirstTouch, Time: now})
 	} else if !entry.present {
@@ -335,6 +372,7 @@ func (as *AddressSpace) Access(thread, ctx int, addr uint64, write bool, now uin
 		as.stats.InducedFaults++
 		cycles += as.costs.InducedFault
 		faulted = true
+		as.obsFault.Observe(float64(cycles))
 		as.fireFault(Fault{Thread: thread, Context: ctx, Page: vpn, Addr: addr,
 			Write: write, Type: FaultInduced, Time: now})
 	}

@@ -1,0 +1,106 @@
+package spcd_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"spcd"
+)
+
+// runObservedArtifacts executes one observed CG run and returns the two
+// exported artifacts.
+func runObservedArtifacts(t *testing.T, policy string, seed int64) (trace, csv []byte) {
+	t.Helper()
+	mach := spcd.DefaultMachine()
+	w, err := spcd.NPB("CG", 8, spcd.ClassTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := spcd.NewProbe(spcd.ObsOptions{})
+	if _, err := spcd.RunObserved(mach, w, policy, seed, pr); err != nil {
+		t.Fatal(err)
+	}
+	var tb, cb bytes.Buffer
+	if err := spcd.WriteChromeTrace(&tb, pr); err != nil {
+		t.Fatal(err)
+	}
+	if err := spcd.WriteTimeSeriesCSV(&cb, pr); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), cb.Bytes()
+}
+
+// TestObservedArtifactsDeterministic is the obs determinism gate: two
+// same-seed runs must export byte-identical Chrome-trace JSON and CSV —
+// the property that makes traces diffable across machines and commits.
+func TestObservedArtifactsDeterministic(t *testing.T) {
+	for _, policy := range []string{"os", "spcd"} {
+		t.Run(policy, func(t *testing.T) {
+			t1, c1 := runObservedArtifacts(t, policy, 42)
+			t2, c2 := runObservedArtifacts(t, policy, 42)
+			if !bytes.Equal(t1, t2) {
+				t.Error("same-seed Chrome traces differ")
+			}
+			if !bytes.Equal(c1, c2) {
+				t.Error("same-seed CSV time series differ")
+			}
+
+			var doc struct {
+				TraceEvents []json.RawMessage `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(t1, &doc); err != nil {
+				t.Fatalf("trace is not valid JSON: %v", err)
+			}
+			if len(doc.TraceEvents) == 0 {
+				t.Error("trace has no events")
+			}
+			lines := strings.Split(strings.TrimRight(string(c1), "\n"), "\n")
+			if len(lines) < 3 {
+				t.Errorf("CSV has %d lines; want a header and multiple samples", len(lines))
+			}
+			if !strings.HasPrefix(lines[0], "time_cycles,") {
+				t.Errorf("CSV header = %q", lines[0])
+			}
+		})
+	}
+}
+
+// TestExperimentObserve checks the Experiment integration: the Observe hook
+// receives every (policy, rep) pair and its probes record the runs.
+func TestExperimentObserve(t *testing.T) {
+	mach := spcd.DefaultMachine()
+	w, err := spcd.NPB("CG", 8, spcd.ClassTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	probes := make(map[string]*spcd.Probe)
+	_, err = spcd.Experiment{
+		Machine:  mach,
+		Workload: w,
+		Policies: []string{"os", "spcd"},
+		Reps:     2,
+		Observe: func(policy string, rep int) *spcd.Probe {
+			pr := spcd.NewProbe(spcd.ObsOptions{})
+			mu.Lock()
+			probes[fmt.Sprintf("%s/%d", policy, rep)] = pr
+			mu.Unlock()
+			return pr
+		},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probes) != 4 {
+		t.Fatalf("Observe called for %d runs, want 4", len(probes))
+	}
+	for key, pr := range probes {
+		if len(pr.Samples()) == 0 {
+			t.Errorf("%s: probe recorded no samples", key)
+		}
+	}
+}

@@ -8,6 +8,10 @@
 # (allocation counts via -benchmem) and refreshes BENCH_engine.json via
 # cmd/perfbench. Opt-in because it adds minutes of wall time and its numbers
 # are machine-dependent.
+#
+# OBS=1 ./verify.sh additionally runs a tiny traced simulation through
+# cmd/spcdobs and validates that the emitted Chrome-trace JSON parses and
+# the CSV time series is well-formed (-check re-reads both artifacts).
 set -eux
 
 go build ./...
@@ -19,4 +23,11 @@ if [ "${BENCH:-0}" = "1" ]; then
 	go test -run '^$' -bench=. -benchmem -benchtime=100x \
 		./internal/vm ./internal/cache ./internal/engine
 	go run ./cmd/perfbench -o BENCH_engine.json
+fi
+
+if [ "${OBS:-0}" = "1" ]; then
+	obsdir=$(mktemp -d)
+	go run ./cmd/spcdobs -bench CG -class test -threads 8 \
+		-policies os,spcd -dir "$obsdir" -check
+	rm -rf "$obsdir"
 fi
