@@ -1,6 +1,16 @@
 # Convenience targets; verify is the pre-merge gate (see ROADMAP.md).
+#
+# Benchmark targets:
+#   bench        — the canonical BENCH_engine.json refresh path: full-length
+#                  microbenchmarks (benchtime=100x) on the engine hot path
+#                  plus cmd/perfbench at -parallel 1, so the recorded wall
+#                  times are uncontended and comparable across records.
+#   bench-smoke  — 1-iteration pass over every benchmark (benchtime=1x):
+#                  proves they still compile and run; numbers meaningless.
+# verify.sh's BENCH=1 / OBS=1 blocks call these targets, so the recipe lives
+# in exactly one place.
 
-.PHONY: build test race lint verify bench obs-smoke
+.PHONY: build test race lint verify bench bench-smoke obs-smoke
 
 build:
 	go build ./...
@@ -18,8 +28,17 @@ verify:
 	./verify.sh
 
 bench:
+	go test -run '^$$' -bench=. -benchmem -benchtime=100x \
+		./internal/vm ./internal/cache ./internal/engine
+	go run ./cmd/perfbench -parallel 1 -o BENCH_engine.json
+
+bench-smoke:
 	go test -run '^$$' -bench=. -benchmem -benchtime=1x ./...
-	go run ./cmd/perfbench -o BENCH_engine.json
+
+# OBS_DIR overrides where the trace/CSV artifacts land (CI uploads them).
+OBS_DIR ?= .obs-smoke
 
 obs-smoke:
-	OBS=1 ./verify.sh
+	mkdir -p $(OBS_DIR)
+	go run ./cmd/spcdobs -bench CG -class test -threads 8 \
+		-policies os,spcd -dir $(OBS_DIR) -check

@@ -8,11 +8,20 @@
 //	npbsuite -class small -reps 3                   # all metrics, all kernels
 //	npbsuite -metric time -kernels SP,BT,FT         # one figure, some kernels
 //	npbsuite -policies os,spcd,tlb,hwc -csv out.csv # comparators + CSV export
+//	npbsuite -parallel 8                            # bound the worker pool
+//
+// The sweep fans out over a bounded worker pool (internal/sweep):
+// -parallel N bounds concurrent experiments, 0 selects GOMAXPROCS and 1
+// preserves the sequential path. The printed tables and the CSV are
+// byte-identical for every -parallel value — each experiment's seed is
+// derived from (-seed, config key), never from scheduling — which is why
+// the run-metadata header does not record the worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/debug"
@@ -39,6 +48,20 @@ var figureMetrics = []spcd.Metric{
 	spcd.MetricProcEnergy, spcd.MetricDRAMEnergy, spcd.MetricProcEPI, spcd.MetricDRAMEPI,
 }
 
+// options collects the sweep parameters; buildReport turns them into the
+// metadata header and report tables so tests can exercise the whole
+// pipeline in-process.
+type options struct {
+	class    string
+	reps     int
+	metric   string
+	kernels  []string // nil: all ten
+	policies []string // nil: os,random,oracle,spcd
+	threads  int
+	seed     int64
+	parallel int
+}
+
 func main() {
 	var (
 		class    = flag.String("class", "small", "workload class: test, tiny, small, A")
@@ -47,7 +70,8 @@ func main() {
 		kernels  = flag.String("kernels", "", "comma-separated kernel subset (default: all ten)")
 		policies = flag.String("policies", "", "comma-separated policies (default: os,random,oracle,spcd; also: tlb, hwc)")
 		threads  = flag.Int("threads", 32, "threads per benchmark")
-		seed     = flag.Int64("seed", 0, "base seed")
+		seed     = flag.Int64("seed", 0, "master seed for the per-experiment seed derivation")
+		parallel = flag.Int("parallel", 0, "concurrent experiments (0 = GOMAXPROCS, 1 = sequential); results are identical for every value")
 		csvPath  = flag.String("csv", "", "also write every table as CSV to this file")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -88,57 +112,28 @@ func main() {
 		}
 	}()
 
-	cls, err := spcd.ClassByName(*class)
+	o := options{
+		class: *class, reps: *reps, metric: *metric,
+		threads: *threads, seed: *seed, parallel: *parallel,
+	}
+	if *kernels != "" {
+		o.kernels = splitList(*kernels)
+	}
+	if *policies != "" {
+		o.policies = splitList(*policies)
+	}
+	header, tables, err := buildReport(o, func(done, total int, key string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep %d/%d: %s: %v\n", done, total, key, err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "sweep %d/%d: %s\n", done, total, key)
+	})
 	if err != nil {
 		fatal(err)
 	}
-	names := spcd.NPBNames
-	if *kernels != "" {
-		names = splitList(*kernels)
-	}
-	pols := spcd.PolicyNames
-	if *policies != "" {
-		pols = splitList(*policies)
-	}
-	mach := spcd.DefaultMachine()
-
-	// Self-describing output: every result file carries the configuration
-	// that produced it, so archived tables can be reproduced exactly.
-	header := runMetadata(mach, names, pols, *class, *threads, *reps, *seed)
 	for _, line := range header {
 		fmt.Println(line)
-	}
-
-	results := make(map[string]*spcd.Results, len(names))
-	for _, name := range names {
-		w, err := spcd.NPB(name, *threads, cls)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "running %s (%d policies x %d reps)...\n", name, len(pols), *reps)
-		res, err := spcd.Experiment{
-			Machine:  mach,
-			Workload: w,
-			Policies: pols,
-			Reps:     *reps,
-			BaseSeed: *seed,
-		}.Run()
-		if err != nil {
-			fatal(err)
-		}
-		results[name] = res
-	}
-
-	var tables []*report.Table
-	metrics := figureMetrics
-	if *metric != "" {
-		metrics = []spcd.Metric{spcd.Metric(*metric)}
-	}
-	for _, m := range metrics {
-		tables = append(tables, figureTable(names, pols, results, m))
-	}
-	if *metric == "" && contains(pols, "spcd") && contains(pols, "os") {
-		tables = append(tables, tableII(names, results))
 	}
 	for _, t := range tables {
 		fmt.Println()
@@ -152,6 +147,60 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
 	}
+}
+
+// buildReport runs the sweep and renders the metadata header plus report
+// tables. progress, when non-nil, receives completion-order updates (it is
+// stderr-only commentary: table and CSV bytes never depend on scheduling).
+func buildReport(o options, progress func(done, total int, key string, err error)) ([]string, []*report.Table, error) {
+	cls, err := spcd.ClassByName(o.class)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := o.kernels
+	if len(names) == 0 {
+		names = spcd.NPBNames
+	}
+	pols := o.policies
+	if len(pols) == 0 {
+		pols = spcd.PolicyNames
+	}
+	mach := spcd.DefaultMachine()
+
+	// Self-describing output: every result file carries the configuration
+	// that produced it, so archived tables can be reproduced exactly.
+	header := runMetadata(mach, names, pols, o.class, o.threads, o.reps, o.seed)
+
+	res, err := spcd.Sweep{
+		Machine:     mach,
+		Kernels:     names,
+		Class:       cls,
+		Threads:     o.threads,
+		Policies:    pols,
+		Reps:        o.reps,
+		MasterSeed:  o.seed,
+		Parallelism: o.parallel,
+		OnProgress:  progress,
+	}.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := res.FirstErr(); err != nil {
+		return nil, nil, err
+	}
+
+	var tables []*report.Table
+	metrics := figureMetrics
+	if o.metric != "" {
+		metrics = []spcd.Metric{spcd.Metric(o.metric)}
+	}
+	for _, m := range metrics {
+		tables = append(tables, figureTable(names, pols, res.ByKernel, m))
+	}
+	if o.metric == "" && contains(pols, "spcd") && contains(pols, "os") {
+		tables = append(tables, tableII(names, res.ByKernel))
+	}
+	return header, tables, nil
 }
 
 // runMetadata renders the `# key: value` header identifying a sweep: the
@@ -201,6 +250,32 @@ func buildDescribe() string {
 	return rev + modified
 }
 
+// renderCSV writes the metadata header and every table as CSV to w. This is
+// the byte-stable schema the golden test pins: header lines, a blank line,
+// then each table as a `# title` comment plus its CSV rows.
+func renderCSV(w io.Writer, header []string, tables []*report.Table) error {
+	for _, line := range header {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+			return err
+		}
+		if err := t.WriteCSV(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // writeCSV exports the metadata header and every table to path, surfacing
 // any write or close error so a full disk cannot silently truncate the
 // results.
@@ -209,29 +284,7 @@ func writeCSV(path string, header []string, tables []*report.Table) error {
 	if err != nil {
 		return err
 	}
-	write := func() error {
-		for _, line := range header {
-			if _, err := fmt.Fprintln(f, line); err != nil {
-				return err
-			}
-		}
-		if _, err := fmt.Fprintln(f); err != nil {
-			return err
-		}
-		for _, t := range tables {
-			if _, err := fmt.Fprintf(f, "# %s\n", t.Title); err != nil {
-				return err
-			}
-			if err := t.WriteCSV(f); err != nil {
-				return err
-			}
-			if _, err := fmt.Fprintln(f); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := write(); err != nil {
+	if err := renderCSV(f, header, tables); err != nil {
 		_ = f.Close()
 		return err
 	}

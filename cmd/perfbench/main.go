@@ -11,11 +11,18 @@
 //	perfbench                                  # full sweep, writes BENCH_engine.json
 //	perfbench -class small -reps 3             # best-of-3 per configuration
 //	perfbench -kernels CG,SP -policies os      # subset
+//	perfbench -parallel 1                      # uncontended timings (the refresh path)
 //	perfbench -cpuprofile cpu.pprof            # profile the sweep
 //
-// Wall-clock timing makes this tool inherently nondeterministic in its
-// *measurements*; the simulation results it times remain seed-deterministic,
-// and the JSON field order is fixed so diffs stay reviewable.
+// The sweep runs on the deterministic parallel runner (internal/sweep):
+// -parallel N bounds concurrent experiments (0 = GOMAXPROCS, 1 = sequential).
+// Parallel workers contend for cores, so per-experiment wall times are only
+// comparable across records taken at -parallel 1 — the canonical
+// BENCH_engine.json refresh (`make bench`) pins that, and the JSON records
+// the worker bound used. Wall-clock timing makes this tool inherently
+// nondeterministic in its *measurements*; the simulation results it times
+// remain seed-deterministic, and the JSON field order is fixed so diffs stay
+// reviewable.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"time"
 
 	"spcd"
+	"spcd/internal/sweep"
 )
 
 // Result is the measurement of one kernel x policy configuration.
@@ -49,6 +57,7 @@ type Result struct {
 type File struct {
 	Class          string   `json:"class"`
 	Threads        int      `json:"threads"`
+	Parallel       int      `json:"parallel"` // worker bound the sweep ran with
 	GoVersion      string   `json:"go_version"`
 	TotalAccesses  uint64   `json:"total_sim_accesses"`
 	TotalSeconds   float64  `json:"total_wall_seconds"`
@@ -64,6 +73,7 @@ func main() {
 		policies   = flag.String("policies", "os,spcd", "comma-separated policies to time")
 		threads    = flag.Int("threads", 32, "threads per benchmark")
 		seed       = flag.Int64("seed", 1, "simulation seed")
+		parallel   = flag.Int("parallel", 0, "concurrent experiments (0 = GOMAXPROCS, 1 = sequential/uncontended)")
 		out        = flag.String("o", "BENCH_engine.json", "output JSON path (empty: stdout only)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile after the sweep to this file")
@@ -100,39 +110,59 @@ func main() {
 		}()
 	}
 
-	bench := File{Class: cls.Name, Threads: *threads, GoVersion: runtime.Version()}
-	for _, kernel := range names {
-		w, err := spcd.NPB(kernel, *threads, cls)
-		if err != nil {
-			fatal(err)
-		}
-		for _, pol := range pols {
-			r := Result{Kernel: kernel, Policy: pol, Class: cls.Name,
-				Threads: *threads, Seed: *seed, Reps: *reps}
-			best := time.Duration(0)
-			for rep := 0; rep < *reps; rep++ {
-				start := time.Now()
-				m, err := spcd.Run(mach, w, pol, *seed)
-				if err != nil {
-					fatal(err)
-				}
-				elapsed := time.Since(start)
-				if rep == 0 || elapsed < best {
-					best = elapsed
-				}
-				r.SimAccesses = m.Cache.Accesses
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 {
+		fmt.Fprintf(os.Stderr, "perfbench: note: %d workers contend for cores; "+
+			"per-experiment times are only comparable across -parallel 1 records\n", workers)
+	}
+	bench := File{Class: cls.Name, Threads: *threads, Parallel: workers, GoVersion: runtime.Version()}
+
+	// Every rep of a configuration runs the same seed on purpose: this tool
+	// times identical work and keeps the minimum, so repetition narrows the
+	// measurement, not the workload.
+	configs := sweep.Product("nas", names, cls, *threads, pols, *reps)
+	start := time.Now()
+	runner := sweep.Runner{
+		Machine:     mach,
+		Parallelism: *parallel,
+		Seeder:      func(sweep.Config) int64 { return *seed },
+		Now:         func() int64 { return int64(time.Since(start)) },
+	}
+	rs, err := runner.Run(configs)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sweep.FirstErr(rs); err != nil {
+		fatal(err)
+	}
+
+	// Results arrive in canonical kernel-major, policy, rep-minor order:
+	// consecutive groups of *reps are one configuration.
+	for i := 0; i < len(rs); i += *reps {
+		group := rs[i : i+*reps]
+		c := group[0].Config
+		r := Result{Kernel: c.Kernel, Policy: c.Policy, Class: cls.Name,
+			Threads: *threads, Seed: *seed, Reps: *reps}
+		best := group[0].WallNanos
+		for _, run := range group {
+			if run.WallNanos < best {
+				best = run.WallNanos
 			}
-			r.WallSeconds = best.Seconds()
-			if r.WallSeconds > 0 {
-				r.AccessesPerSec = float64(r.SimAccesses) / r.WallSeconds
-				r.NsPerAccess = r.WallSeconds * 1e9 / float64(r.SimAccesses)
-			}
-			bench.TotalAccesses += r.SimAccesses
-			bench.TotalSeconds += r.WallSeconds
-			bench.Results = append(bench.Results, r)
-			fmt.Fprintf(os.Stderr, "%-4s %-6s %9.0f accesses/s  (%.1f ns/access, %d accesses in %.3fs)\n",
-				kernel, pol, r.AccessesPerSec, r.NsPerAccess, r.SimAccesses, r.WallSeconds)
+			r.SimAccesses = run.Metrics.Cache.Accesses
 		}
+		r.WallSeconds = time.Duration(best).Seconds()
+		if r.WallSeconds > 0 {
+			r.AccessesPerSec = float64(r.SimAccesses) / r.WallSeconds
+			r.NsPerAccess = r.WallSeconds * 1e9 / float64(r.SimAccesses)
+		}
+		bench.TotalAccesses += r.SimAccesses
+		bench.TotalSeconds += r.WallSeconds
+		bench.Results = append(bench.Results, r)
+		fmt.Fprintf(os.Stderr, "%-4s %-6s %9.0f accesses/s  (%.1f ns/access, %d accesses in %.3fs)\n",
+			r.Kernel, r.Policy, r.AccessesPerSec, r.NsPerAccess, r.SimAccesses, r.WallSeconds)
 	}
 	if bench.TotalSeconds > 0 {
 		bench.AccessesPerSec = float64(bench.TotalAccesses) / bench.TotalSeconds

@@ -1,15 +1,26 @@
 // Command spcdobs runs a workload under one or more policies with the
 // observability layer enabled and writes the artifacts: a Chrome
 // trace_event JSON (open it in chrome://tracing or https://ui.perfetto.dev)
-// and a CSV metrics time series per policy. It also prints, for policies
-// that remap, how the cross-socket cache-to-cache traffic changed after the
-// first remapping — the dynamic view of the paper's Figure 11.
+// and a CSV metrics time series per policy, plus one merged trace with every
+// policy's run in its own pid namespace for side-by-side comparison. It also
+// prints, for policies that remap, how the cross-socket cache-to-cache
+// traffic changed after the first remapping — the dynamic view of the
+// paper's Figure 11.
 //
 // Usage:
 //
 //	spcdobs -bench CG -class tiny                  # os + spcd, files in .
 //	spcdobs -bench SP -policies spcd -dir out/
 //	spcdobs -bench CG -class test -check           # validate the artifacts
+//	spcdobs -policies os,random,oracle,spcd -parallel 4
+//
+// The policies run as one sweep on the deterministic parallel runner
+// (internal/sweep): each policy is one experiment with its own probe, so
+// every artifact — including the merged trace — is byte-identical for every
+// -parallel value. All probe timestamps are simulated cycles; the sweep's
+// own progress events (sweep.start / exp.done / sweep.done) land on a
+// dedicated "sweep" lane of the merged trace with the canonical experiment
+// index as virtual time.
 package main
 
 import (
@@ -21,6 +32,8 @@ import (
 	"strings"
 
 	"spcd"
+	"spcd/internal/obs"
+	"spcd/internal/sweep"
 )
 
 func main() {
@@ -31,6 +44,7 @@ func main() {
 		threads  = flag.Int("threads", 8, "threads")
 		policies = flag.String("policies", "os,spcd", "comma-separated policies to trace")
 		seed     = flag.Int64("seed", 1, "run seed")
+		parallel = flag.Int("parallel", 1, "concurrent experiments (0 = GOMAXPROCS); artifacts are identical for every value")
 		dir      = flag.String("dir", ".", "output directory for trace/timeseries files")
 		sample   = flag.Uint64("sample", 0, "snapshot interval in cycles (0 = ~256 rows per run)")
 		check    = flag.Bool("check", false, "re-read the written artifacts and validate them")
@@ -57,17 +71,47 @@ func main() {
 		fatal(err)
 	}
 
+	var pols []string
 	for _, pol := range strings.Split(*policies, ",") {
-		pol = strings.TrimSpace(pol)
-		if pol == "" {
-			continue
+		if pol = strings.TrimSpace(pol); pol != "" {
+			pols = append(pols, pol)
 		}
-		pr := spcd.NewProbe(spcd.ObsOptions{SampleIntervalCycles: *sample})
-		m, err := spcd.RunObserved(mach, w, pol, *seed, pr)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(m)
+	}
+
+	// One experiment per policy, each with its own probe; the workload
+	// instance is shared (NewRun is pure) so the pc suite works too. Probes
+	// are created up front — Observe runs on concurrent workers, so it only
+	// indexes, never allocates shared state.
+	configs := make([]sweep.Config, len(pols))
+	probes := make([]*spcd.Probe, len(pols))
+	probeFor := make(map[string]*spcd.Probe, len(pols))
+	for i, pol := range pols {
+		configs[i] = sweep.Config{Workload: w, Policy: pol}
+		probes[i] = spcd.NewProbe(spcd.ObsOptions{SampleIntervalCycles: *sample})
+		probeFor[pol] = probes[i]
+	}
+	sweepProbe := spcd.NewProbe(spcd.ObsOptions{})
+	runner := sweep.Runner{
+		Machine:     mach,
+		Parallelism: *parallel,
+		Seeder:      func(sweep.Config) int64 { return *seed },
+		Observe:     func(c sweep.Config) *obs.Probe { return probeFor[c.Policy] },
+		Probe:       sweepProbe,
+	}
+	rs, err := runner.Run(configs)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sweep.FirstErr(rs); err != nil {
+		fatal(err)
+	}
+
+	// Report and export in canonical (flag) order regardless of which worker
+	// finished first.
+	merged := []spcd.TraceRun{{Name: "sweep", Probe: sweepProbe}}
+	for i, pol := range pols {
+		pr := probes[i]
+		fmt.Println(rs[i].Metrics)
 		fmt.Printf("  obs: %d events, %d samples, %d metric columns\n",
 			len(pr.Events()), len(pr.Samples()), len(pr.Registry().Columns()))
 		reportRemapEffect(pr)
@@ -85,6 +129,16 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "checked %s, %s\n", tracePath, csvPath)
 		}
+		merged = append(merged, spcd.TraceRun{Name: pol, Probe: pr})
+	}
+
+	mergedPath := filepath.Join(*dir, fmt.Sprintf("trace_%s_all.json", w.Name()))
+	writeFile(mergedPath, func(f *os.File) error { return spcd.WriteChromeTraceMerged(f, merged) })
+	if *check {
+		if err := checkTrace(mergedPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "checked %s\n", mergedPath)
 	}
 }
 

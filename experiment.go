@@ -3,13 +3,11 @@ package spcd
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
-	"spcd/internal/engine"
-	"spcd/internal/policy"
+	"spcd/internal/obs"
 	"spcd/internal/stats"
+	"spcd/internal/sweep"
 )
 
 // Metric identifies one of the quantities the paper's evaluation reports.
@@ -97,7 +95,12 @@ type Results struct {
 	order    []string
 }
 
-// Run executes the experiment.
+// Run executes the experiment on the deterministic parallel sweep runner
+// (internal/sweep): policy × rep configs fan out over a bounded worker
+// pool, every run gets fresh engine/VM/cache instances, and the results
+// come back in canonical (policy-major, rep-minor) order regardless of the
+// worker count. Rep r runs with seed BaseSeed+r+1 under every policy — the
+// paper's methodology compares policies on identical workload streams.
 func (e Experiment) Run() (*Results, error) {
 	if e.Machine == nil || e.Workload == nil {
 		return nil, errors.New("spcd: experiment needs Machine and Workload")
@@ -110,78 +113,50 @@ func (e Experiment) Run() (*Results, error) {
 	if reps <= 0 {
 		reps = 3
 	}
+	configs := make([]sweep.Config, 0, len(policies)*reps)
+	for _, name := range policies {
+		for r := 0; r < reps; r++ {
+			configs = append(configs, sweep.Config{Workload: e.Workload, Policy: name, Rep: r})
+		}
+	}
+	runner := sweep.Runner{
+		Machine:     e.Machine,
+		Parallelism: e.Parallelism,
+		Seeder:      func(c sweep.Config) int64 { return e.BaseSeed + int64(c.Rep) + 1 },
+	}
+	if e.Observe != nil {
+		runner.Observe = func(c sweep.Config) *obs.Probe { return e.Observe(c.Policy, c.Rep) }
+	}
+	rs, err := runner.Run(configs)
+	if err != nil {
+		return nil, err
+	}
+	if err := sweep.FirstErr(rs); err != nil {
+		return nil, fmt.Errorf("spcd: %w", err)
+	}
 	res := &Results{
 		Workload: e.Workload.Name(),
 		ByPolicy: make(map[string][]Metrics, len(policies)),
 		order:    append([]string(nil), policies...),
 	}
-	workers := e.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	type job struct{ policy, rep int }
-	jobs := make(chan job)
-	metrics := make([][]Metrics, len(policies))
-	for i := range metrics {
-		metrics[i] = make([]Metrics, reps)
-	}
-	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		firstErr error
-	)
-	setErr := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				name := policies[j.policy]
-				p, err := policy.Tuned(name, e.Workload, e.Machine)
-				if err != nil {
-					setErr(err)
-					continue
-				}
-				var pr *Probe
-				if e.Observe != nil {
-					pr = e.Observe(name, j.rep)
-				}
-				m, err := engine.Run(engine.Config{
-					Machine:  e.Machine,
-					Workload: e.Workload,
-					Policy:   p,
-					Seed:     e.BaseSeed + int64(j.rep) + 1,
-					Probe:    pr,
-				})
-				if err != nil {
-					setErr(fmt.Errorf("spcd: %s/%s rep %d: %w", e.Workload.Name(), name, j.rep, err))
-					continue
-				}
-				metrics[j.policy][j.rep] = m
-			}
-		}()
-	}
-	for pi := range policies {
+	i := 0
+	for _, name := range policies {
+		ms := make([]Metrics, reps)
 		for r := 0; r < reps; r++ {
-			jobs <- job{policy: pi, rep: r}
+			ms[r] = rs[i].Metrics
+			i++
 		}
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	for pi, name := range policies {
-		res.ByPolicy[name] = metrics[pi]
+		res.ByPolicy[name] = ms
 	}
 	return res, nil
+}
+
+// RunParallel is Run with an explicit worker bound: workers <= 0 selects
+// GOMAXPROCS, 1 forces sequential execution. Results are identical for
+// every value — parallelism only changes wall-clock time.
+func (e Experiment) RunParallel(workers int) (*Results, error) {
+	e.Parallelism = workers
+	return e.Run()
 }
 
 // Policies returns the policy names in execution order.

@@ -63,6 +63,7 @@ var All = []*Analyzer{
 	LockCheck,
 	ErrcheckIO,
 	ObsVirtualTime,
+	SweepParallel,
 }
 
 // ByName returns the analyzer with the given rule name, or nil.
@@ -268,6 +269,7 @@ var deterministicPkgs = map[string]bool{
 	"spcd/internal/energy":     true,
 	"spcd/internal/hashtab":    true,
 	"spcd/internal/obs":        true,
+	"spcd/internal/sweep":      true,
 }
 
 // isDeterministicPkg reports whether importPath is one of the simulator

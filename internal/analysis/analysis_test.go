@@ -136,6 +136,10 @@ func TestObsVirtualTimeSiteGolden(t *testing.T) {
 	runGolden(t, "obsvirtualtimesite", "spcd/internal/obstest", []*Analyzer{ObsVirtualTime})
 }
 
+func TestSweepParallelGolden(t *testing.T) {
+	runGolden(t, "sweepparallel", "spcd/internal/sweep", []*Analyzer{SweepParallel})
+}
+
 func TestSuppressionGolden(t *testing.T) {
 	runGolden(t, "suppress", "spcd/internal/vm", All)
 }

@@ -1,0 +1,157 @@
+// Package sweepparallel is golden-test input for the sweep-parallel rule:
+// goroutine bodies must not draw from shared random sources or mutate
+// shared state without synchronization.
+package sweepparallel
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// sharedRand captures one generator in every worker: the draw interleaving
+// depends on scheduling.
+func sharedRand(n int) {
+	rng := rand.New(rand.NewSource(1))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = rng.Intn(10) // want "shares a \*rand.Rand across goroutines"
+		}()
+	}
+	wg.Wait()
+}
+
+// globalRand uses the process-wide generator from a worker.
+func globalRand(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			_ = rand.Intn(10) // want "global rand.Intn in a goroutine body"
+		}()
+	}
+}
+
+// sharedSource captures a rand.Source, which is just as shared as the Rand
+// wrapped around it.
+func sharedSource(n int) {
+	src := rand.NewSource(7)
+	for i := 0; i < n; i++ {
+		go func() {
+			_ = src.Int63() // want "shares a rand.Source across goroutines"
+		}()
+	}
+}
+
+// sharedCounter increments a captured variable from every worker.
+func sharedCounter(n int) {
+	total := 0
+	for i := 0; i < n; i++ {
+		go func() {
+			total++ // want "unsynchronized write to total"
+		}()
+	}
+	_ = total
+}
+
+// sharedMap writes a captured map from every worker.
+func sharedMap(n int) {
+	seen := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			seen[i] = true // want "unsynchronized map write to seen"
+		}()
+	}
+	_ = seen
+}
+
+type tally struct{ hits int }
+
+// sharedField writes a field through a captured pointer.
+func sharedField(n int, t *tally) {
+	for i := 0; i < n; i++ {
+		go func() {
+			t.hits = i // want "unsynchronized field write through t"
+		}()
+	}
+}
+
+var declHits int
+
+// declWorker is reached through `go declWorker()`: the rule resolves one
+// level of same-package calls.
+func declWorker() {
+	declHits++ // want "unsynchronized write to declHits"
+}
+
+func spawnDecl(n int) {
+	for i := 0; i < n; i++ {
+		go declWorker()
+	}
+}
+
+// disjointSlice is the approved collection pattern: each worker owns one
+// element.
+func disjointSlice(n int) {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = i * i // ok: disjoint slice element
+		}()
+	}
+	wg.Wait()
+}
+
+// guardedCounter holds a mutex across the write.
+func guardedCounter(n int) {
+	var mu sync.Mutex
+	total := 0
+	for i := 0; i < n; i++ {
+		go func() {
+			mu.Lock()
+			total++ // ok: between Lock and Unlock
+			mu.Unlock()
+		}()
+	}
+	_ = total
+}
+
+// deferGuarded releases via defer; everything after the Lock is guarded.
+func deferGuarded(n int, m map[int]int) {
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			mu.Lock()
+			defer mu.Unlock()
+			m[i] = i // ok: deferred unlock guards to end of body
+		}()
+	}
+}
+
+// perWorkerRand derives one generator per goroutine — the approved shape.
+func perWorkerRand(n int) {
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			rng := rand.New(rand.NewSource(int64(i)))
+			_ = rng.Intn(10) // ok: goroutine-local generator
+		}()
+	}
+}
+
+// channelSend is the other approved collection pattern.
+func channelSend(n int) {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			ch <- i // ok: channel send
+		}()
+	}
+}

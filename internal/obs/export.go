@@ -62,15 +62,6 @@ func WriteChromeTrace(w io.Writer, p *Probe) error {
 		_, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[]}`+"\n")
 		return err
 	}
-	hz := p.opts.ClockHz
-	if hz == 0 {
-		hz = defaultClockHz
-	}
-	usPerCycle := 1e6 / hz
-	ts := func(cycles uint64) string {
-		return strconv.FormatFloat(float64(cycles)*usPerCycle, 'f', -1, 64)
-	}
-
 	var buf bytes.Buffer
 	buf.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
 	first := true
@@ -81,10 +72,64 @@ func WriteChromeTrace(w io.Writer, p *Probe) error {
 		first = false
 		buf.WriteString(line)
 	}
+	appendProbeTrace(emit, p, 0, "spcd simulator")
+	buf.WriteString("\n]}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// TraceRun pairs one run's probe with a display label for merged export.
+type TraceRun struct {
+	Name  string
+	Probe *Probe
+}
+
+// WriteChromeTraceMerged writes several runs' probes into one Chrome trace,
+// each run in its own pid namespace (pid = position in runs, process_name =
+// the run's label), so a whole sweep — every policy of a workload, say —
+// loads as side-by-side process groups in one Perfetto view. Runs with a
+// nil probe contribute only their process_name lane. Output is
+// deterministic: runs render in slice order, each with the single-run
+// format of WriteChromeTrace.
+func WriteChromeTraceMerged(w io.Writer, runs []TraceRun) error {
+	var buf bytes.Buffer
+	buf.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			buf.WriteString(",\n")
+		}
+		first = false
+		buf.WriteString(line)
+	}
+	for pid, run := range runs {
+		if run.Probe == nil {
+			emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":%s}}`,
+				pid, jstr(run.Name)))
+			continue
+		}
+		appendProbeTrace(emit, run.Probe, pid, run.Name)
+	}
+	buf.WriteString("\n]}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// appendProbeTrace emits one probe's lane metadata, instant events and
+// counter tracks under the given pid namespace.
+func appendProbeTrace(emit func(string), p *Probe, pid int, procName string) {
+	hz := p.opts.ClockHz
+	if hz == 0 {
+		hz = defaultClockHz
+	}
+	usPerCycle := 1e6 / hz
+	ts := func(cycles uint64) string {
+		return strconv.FormatFloat(float64(cycles)*usPerCycle, 'f', -1, 64)
+	}
 
 	// Lane metadata: the run-scoped lane plus one lane per thread seen.
-	emit(`{"name":"process_name","ph":"M","pid":0,"args":{"name":"spcd simulator"}}`)
-	emit(`{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"run"}}`)
+	emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":%s}}`, pid, jstr(procName)))
+	emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":0,"args":{"name":"run"}}`, pid))
 	maxThread := -1
 	for _, e := range p.events {
 		if e.Thread > maxThread {
@@ -92,7 +137,7 @@ func WriteChromeTrace(w io.Writer, p *Probe) error {
 		}
 	}
 	for t := 0; t <= maxThread; t++ {
-		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"thread %d"}}`, t+1, t))
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"thread %d"}}`, pid, t+1, t))
 	}
 
 	// Merge events and counter samples by virtual time (both streams are
@@ -111,8 +156,8 @@ func WriteChromeTrace(w io.Writer, p *Probe) error {
 				tid, scope = e.Thread+1, "t"
 			}
 			evtBuf.Reset()
-			fmt.Fprintf(&evtBuf, `{"name":%s,"cat":%s,"ph":"i","s":"%s","ts":%s,"pid":0,"tid":%d,"args":`,
-				jstr(e.Name), jstr(e.Cat), scope, ts(e.Time), tid)
+			fmt.Fprintf(&evtBuf, `{"name":%s,"cat":%s,"ph":"i","s":"%s","ts":%s,"pid":%d,"tid":%d,"args":`,
+				jstr(e.Name), jstr(e.Cat), scope, ts(e.Time), pid, tid)
 			appendArgs(&evtBuf, e.Args)
 			evtBuf.WriteByte('}')
 			emit(evtBuf.String())
@@ -125,13 +170,10 @@ func WriteChromeTrace(w io.Writer, p *Probe) error {
 			if kinds[c] == KindCounter {
 				v, prev[c] = v-prev[c], v
 			}
-			emit(fmt.Sprintf(`{"name":%s,"ph":"C","ts":%s,"pid":0,"args":{"value":%s}}`,
-				jstr(cols[c]), ts(s.Time), formatFloat(v)))
+			emit(fmt.Sprintf(`{"name":%s,"ph":"C","ts":%s,"pid":%d,"args":{"value":%s}}`,
+				jstr(cols[c]), ts(s.Time), pid, formatFloat(v)))
 		}
 	}
-	buf.WriteString("\n]}\n")
-	_, err := w.Write(buf.Bytes())
-	return err
 }
 
 // WriteTimeSeriesCSV writes the sampled registry as CSV: a time_cycles

@@ -43,3 +43,14 @@ func WriteChromeTrace(w io.Writer, pr *Probe) error { return obs.WriteChromeTrac
 // WriteTimeSeriesCSV exports a probe's sampled metrics registry as CSV:
 // one row per snapshot, counters as per-interval deltas.
 func WriteTimeSeriesCSV(w io.Writer, pr *Probe) error { return obs.WriteTimeSeriesCSV(w, pr) }
+
+// TraceRun labels one run's probe for merged trace export.
+type TraceRun = obs.TraceRun
+
+// WriteChromeTraceMerged exports several runs' probes — a sweep's worth of
+// experiments, say — into a single Chrome trace, each run in its own
+// disjoint pid namespace so the runs appear as side-by-side process groups
+// in chrome://tracing or Perfetto.
+func WriteChromeTraceMerged(w io.Writer, runs []TraceRun) error {
+	return obs.WriteChromeTraceMerged(w, runs)
+}

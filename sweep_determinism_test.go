@@ -1,0 +1,71 @@
+package spcd_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+
+	"spcd"
+)
+
+// renderSweep runs the full kernel × policy grid at the given worker count
+// and renders every experiment's metrics — including the detected
+// communication matrix, byte for byte — into one string.
+func renderSweep(t *testing.T, parallel int, cls spcd.Class) string {
+	t.Helper()
+	res, err := spcd.Sweep{
+		Machine:     spcd.DefaultMachine(),
+		Class:       cls,
+		Threads:     8,
+		Reps:        1,
+		MasterSeed:  12345,
+		Parallelism: parallel,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, kernel := range res.Kernels {
+		r := res.ByKernel[kernel]
+		for _, pol := range r.Policies() {
+			for _, m := range r.ByPolicy[pol] {
+				fmt.Fprintf(&buf, "%s/%s:\n", kernel, pol)
+				if m.CommMatrix != nil {
+					if err := spcd.WriteMatrixCSV(&buf, m.CommMatrix); err != nil {
+						t.Fatal(err)
+					}
+					m.CommMatrix = nil
+				}
+				fmt.Fprintf(&buf, "%+v\n", m)
+			}
+		}
+	}
+	return buf.String()
+}
+
+// TestSweepParallelismByteIdentical is the tentpole acceptance gate: the
+// complete kernel × policy sweep produces byte-identical metrics (and
+// detected communication matrices) whether it runs sequentially or on a 4-
+// or 16-worker pool. SWEEP_CLASS selects the workload class — "test" by
+// default so the race detector stays affordable; CI runs the full
+// SWEEP_CLASS=small sweep without -race.
+func TestSweepParallelismByteIdentical(t *testing.T) {
+	clsName := os.Getenv("SWEEP_CLASS")
+	if clsName == "" {
+		clsName = "test"
+	}
+	cls, err := spcd.ClassByName(clsName)
+	if err != nil {
+		t.Fatalf("SWEEP_CLASS=%q: %v", clsName, err)
+	}
+	base := renderSweep(t, 1, cls)
+	for _, workers := range []int{4, 16} {
+		if got := renderSweep(t, workers, cls); got != base {
+			t.Errorf("class %s sweep at parallelism %d differs from the sequential run", clsName, workers)
+		}
+	}
+}

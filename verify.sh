@@ -1,17 +1,20 @@
 #!/bin/sh
-# verify.sh — the repo's full verification gate, referenced from ROADMAP.md.
-# Runs the tier-1 build/tests plus the race detector and the spcdlint static
-# analyzers (internal/analysis). CI and pre-merge checks should run exactly
-# this.
+# verify.sh — the repo's full verification gate, referenced from ROADMAP.md
+# and run verbatim by CI (.github/workflows/verify.yml). Runs the tier-1
+# build/tests plus the race detector and the spcdlint static analyzers
+# (internal/analysis). Pre-merge checks should run exactly this.
 #
-# BENCH=1 ./verify.sh additionally runs the simulator throughput benchmarks
-# (allocation counts via -benchmem) and refreshes BENCH_engine.json via
-# cmd/perfbench. Opt-in because it adds minutes of wall time and its numbers
+# BENCH=1 ./verify.sh additionally runs `make bench`: full-length
+# microbenchmarks of the engine hot path and the canonical refresh of
+# BENCH_engine.json (cmd/perfbench at -parallel 1, so timings are
+# uncontended). Opt-in because it adds minutes of wall time and its numbers
 # are machine-dependent.
 #
-# OBS=1 ./verify.sh additionally runs a tiny traced simulation through
-# cmd/spcdobs and validates that the emitted Chrome-trace JSON parses and
-# the CSV time series is well-formed (-check re-reads both artifacts).
+# OBS=1 ./verify.sh additionally runs `make obs-smoke`: a tiny traced
+# simulation through cmd/spcdobs whose -check flag re-reads the emitted
+# Chrome-trace JSON and CSV time series and validates them. OBS_DIR overrides
+# the artifact directory; by default a temporary directory is used and
+# removed afterwards.
 set -eux
 
 go build ./...
@@ -20,14 +23,15 @@ go test -race ./...
 go run ./cmd/spcdlint ./...
 
 if [ "${BENCH:-0}" = "1" ]; then
-	go test -run '^$' -bench=. -benchmem -benchtime=100x \
-		./internal/vm ./internal/cache ./internal/engine
-	go run ./cmd/perfbench -o BENCH_engine.json
+	make bench
 fi
 
 if [ "${OBS:-0}" = "1" ]; then
-	obsdir=$(mktemp -d)
-	go run ./cmd/spcdobs -bench CG -class test -threads 8 \
-		-policies os,spcd -dir "$obsdir" -check
-	rm -rf "$obsdir"
+	if [ -n "${OBS_DIR:-}" ]; then
+		make obs-smoke OBS_DIR="$OBS_DIR"
+	else
+		obsdir=$(mktemp -d)
+		make obs-smoke OBS_DIR="$obsdir"
+		rm -rf "$obsdir"
+	fi
 fi
