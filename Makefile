@@ -10,7 +10,7 @@
 # verify.sh's BENCH=1 / OBS=1 blocks call these targets, so the recipe lives
 # in exactly one place.
 
-.PHONY: build test race lint verify bench bench-smoke obs-smoke
+.PHONY: build test race lint verify bench bench-smoke obs-smoke chaos-smoke
 
 build:
 	go build ./...
@@ -42,3 +42,11 @@ obs-smoke:
 	mkdir -p $(OBS_DIR)
 	go run ./cmd/spcdobs -bench CG -class test -threads 8 \
 		-policies os,spcd -dir $(OBS_DIR) -check
+
+# Fixed fault plan (seed 42, intensity axis 0/0.5/1) on ClassSmall; -check
+# reruns the whole grid at parallelism 1 and 8 and requires byte-identical
+# reports, so this both exercises every degradation path and proves the
+# determinism contract holds under fault load.
+chaos-smoke:
+	go run ./cmd/chaossweep -bench CG -class small -threads 8 \
+		-policies os,spcd -intensities 0,0.5,1 -seed 42 -reps 2 -check

@@ -86,6 +86,19 @@ type Experiment struct {
 	// Probe per call — one Probe observes exactly one run — and may be
 	// called from concurrent worker goroutines.
 	Observe func(policyName string, rep int) *Probe
+
+	// Faults, when set, injects the plan's faults into every run (each run
+	// gets its own deterministic injector derived from the plan and the run
+	// seed). Nil or an inactive plan leaves the runs fault-free.
+	Faults *FaultPlan
+}
+
+// WithFaults returns a copy of the experiment that runs every simulation
+// under the given fault plan. See FaultPlan and internal/faultinject for the
+// determinism contract.
+func (e Experiment) WithFaults(plan FaultPlan) Experiment {
+	e.Faults = &plan
+	return e
 }
 
 // Results holds all runs of an experiment, indexed by policy.
@@ -123,6 +136,7 @@ func (e Experiment) Run() (*Results, error) {
 		Machine:     e.Machine,
 		Parallelism: e.Parallelism,
 		Seeder:      func(c sweep.Config) int64 { return e.BaseSeed + int64(c.Rep) + 1 },
+		FaultPlan:   e.Faults,
 	}
 	if e.Observe != nil {
 		runner.Observe = func(c sweep.Config) *obs.Probe { return e.Observe(c.Policy, c.Rep) }

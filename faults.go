@@ -1,0 +1,51 @@
+package spcd
+
+import (
+	"spcd/internal/engine"
+	"spcd/internal/faultinject"
+	"spcd/internal/policy"
+)
+
+// FaultPlan is a deterministic fault-injection plan (see
+// internal/faultinject): per-site rates derived from a seed and intensity,
+// injected on the simulator's virtual-time axis so that same-seed faulted
+// runs are byte-identical. The zero plan is inactive — a sweep or experiment
+// configured with it takes exactly the fault-free code paths.
+type FaultPlan = faultinject.Plan
+
+// FaultSiteCount is a per-site injected-fault tally, reported in registry
+// order by chaos runs.
+type FaultSiteCount = faultinject.SiteCount
+
+// DefaultFaultPlan builds a plan whose per-site rates scale linearly with
+// intensity in [0, 1]: 0 is fault-free, 1 is the harshest plan the
+// degradation machinery is expected to survive.
+func DefaultFaultPlan(seed int64, intensity float64) FaultPlan {
+	return faultinject.DefaultPlan(seed, intensity)
+}
+
+// CanonicalFaultPlan is the fixed mid-intensity plan the chaos smoke tests
+// and CI run against: DefaultFaultPlan(seed, 0.5).
+func CanonicalFaultPlan(seed int64) FaultPlan {
+	return faultinject.CanonicalPlan(seed)
+}
+
+// RunWithFaults is Run with fault injection (and optional observability):
+// the plan's fault sites fire at deterministic virtual-time points derived
+// from (plan seed, run seed), the policies degrade rather than fail, and
+// every degradation decision lands in the probe's event trace when pr is
+// non-nil. An inactive plan makes this identical to RunObserved.
+func RunWithFaults(m *Machine, w Workload, policyName string, seed int64, plan FaultPlan, pr *Probe) (Metrics, error) {
+	p, err := policy.Tuned(policyName, w, m)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return engine.Run(engine.Config{
+		Machine:  m,
+		Workload: w,
+		Policy:   p,
+		Seed:     seed,
+		Probe:    pr,
+		Injector: faultinject.NewInjector(plan, seed),
+	})
+}

@@ -64,6 +64,7 @@ var All = []*Analyzer{
 	ErrcheckIO,
 	ObsVirtualTime,
 	SweepParallel,
+	Faultsite,
 }
 
 // ByName returns the analyzer with the given rule name, or nil.
@@ -251,25 +252,26 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 // pipeline and the reporting/output paths (trace, heatmap, report), whose
 // rendered bytes the determinism regression test compares across runs.
 var deterministicPkgs = map[string]bool{
-	"spcd":                     true,
-	"spcd/internal/core":       true,
-	"spcd/internal/vm":         true,
-	"spcd/internal/cache":      true,
-	"spcd/internal/commmatrix": true,
-	"spcd/internal/mapping":    true,
-	"spcd/internal/matching":   true,
-	"spcd/internal/policy":     true,
-	"spcd/internal/workloads":  true,
-	"spcd/internal/engine":     true,
-	"spcd/internal/trace":      true,
-	"spcd/internal/heatmap":    true,
-	"spcd/internal/report":     true,
-	"spcd/internal/topology":   true,
-	"spcd/internal/stats":      true,
-	"spcd/internal/energy":     true,
-	"spcd/internal/hashtab":    true,
-	"spcd/internal/obs":        true,
-	"spcd/internal/sweep":      true,
+	"spcd":                      true,
+	"spcd/internal/core":        true,
+	"spcd/internal/vm":          true,
+	"spcd/internal/cache":       true,
+	"spcd/internal/commmatrix":  true,
+	"spcd/internal/mapping":     true,
+	"spcd/internal/matching":    true,
+	"spcd/internal/policy":      true,
+	"spcd/internal/workloads":   true,
+	"spcd/internal/engine":      true,
+	"spcd/internal/trace":       true,
+	"spcd/internal/heatmap":     true,
+	"spcd/internal/report":      true,
+	"spcd/internal/topology":    true,
+	"spcd/internal/stats":       true,
+	"spcd/internal/energy":      true,
+	"spcd/internal/hashtab":     true,
+	"spcd/internal/obs":         true,
+	"spcd/internal/sweep":       true,
+	"spcd/internal/faultinject": true,
 }
 
 // isDeterministicPkg reports whether importPath is one of the simulator

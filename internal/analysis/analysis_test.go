@@ -140,6 +140,14 @@ func TestSweepParallelGolden(t *testing.T) {
 	runGolden(t, "sweepparallel", "spcd/internal/sweep", []*Analyzer{SweepParallel})
 }
 
+func TestFaultsiteGolden(t *testing.T) {
+	runGolden(t, "faultsite", "spcd/internal/faultinject", []*Analyzer{Faultsite})
+}
+
+func TestFaultsiteUseGolden(t *testing.T) {
+	runGolden(t, "faultsiteuse", "spcd/internal/fitest", []*Analyzer{Faultsite})
+}
+
 func TestSuppressionGolden(t *testing.T) {
 	runGolden(t, "suppress", "spcd/internal/vm", All)
 }

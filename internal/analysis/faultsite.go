@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Faultsite enforces the fault-injection site registry contract
+// (internal/faultinject): the set of injection sites is closed. Inside the
+// faultinject package, every package-level constant of type Site must be
+// listed in the Sites registry literal (per-site injector state is indexed
+// by registry position, so an unlisted constant would panic at its first
+// Hit). Everywhere else, Site values must be the registry constants — no
+// faultinject.Site("...") conversions and no string literals where a Site is
+// expected — so grepping the registry finds every injection point in the
+// simulator.
+var Faultsite = &Analyzer{
+	Name: "faultsite",
+	Doc:  "fault-injection sites must come from the faultinject.Sites registry, never ad-hoc strings",
+	Run:  runFaultsite,
+}
+
+// faultinjectPkgPath is the package owning the Site type and registry.
+const faultinjectPkgPath = "spcd/internal/faultinject"
+
+// isSiteType reports whether t is (an alias of) faultinject.Site.
+func isSiteType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Site" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == faultinjectPkgPath
+}
+
+func runFaultsite(pass *Pass) {
+	if pass.Path == faultinjectPkgPath {
+		runFaultsiteRegistry(pass)
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				// A conversion faultinject.Site(x) mints a site outside the
+				// registry. Don't descend: the operand literal carries the
+				// Site type too and would double-report.
+				if tv := pass.TypeOf(e.Fun); tv != nil {
+					if _, isFunc := tv.Underlying().(*types.Signature); !isFunc && isSiteType(tv) {
+						pass.Reportf(e.Pos(),
+							"ad-hoc faultinject.Site conversion: injection sites are a closed registry, use a constant from faultinject.Sites")
+						return false
+					}
+				}
+			case *ast.BasicLit:
+				// An untyped string constant adopting the Site type (implicit
+				// conversion at a call or assignment) is the same escape
+				// hatch in disguise: Hit("vm.fault.drop") compiles but
+				// bypasses the registry constants.
+				if e.Kind == token.STRING {
+					if tv := pass.TypeOf(e); tv != nil && isSiteType(tv) {
+						pass.Reportf(e.Pos(),
+							"string literal used as faultinject.Site: use a constant from the faultinject.Sites registry")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// runFaultsiteRegistry checks the faultinject package itself: every
+// package-level Site constant appears in the Sites registry literal, and the
+// registry holds only those constants.
+func runFaultsiteRegistry(pass *Pass) {
+	type siteConst struct {
+		name string
+		pos  token.Pos
+	}
+	var consts []siteConst
+	registered := make(map[string]bool)
+	var registryFound bool
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.CONST:
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj := pass.ObjectOf(name)
+						if obj == nil || !isSiteType(obj.Type()) {
+							continue
+						}
+						consts = append(consts, siteConst{name.Name, name.Pos()})
+					}
+				}
+			case token.VAR:
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if name.Name != "Sites" || i >= len(vs.Values) {
+							continue
+						}
+						cl, ok := vs.Values[i].(*ast.CompositeLit)
+						if !ok {
+							continue
+						}
+						registryFound = true
+						for _, elt := range cl.Elts {
+							id, ok := elt.(*ast.Ident)
+							if !ok {
+								pass.Reportf(elt.Pos(),
+									"Sites registry entries must be the package's Site constants, not expressions")
+								continue
+							}
+							registered[id.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	if !registryFound {
+		// Without a registry literal nothing can be checked; only the real
+		// package (and well-formed test fixtures) reach this rule, so a
+		// missing registry is itself the finding.
+		for _, c := range consts {
+			pass.Reportf(c.pos, "Site constant %s declared but no Sites registry literal found", c.name)
+		}
+		return
+	}
+	for _, c := range consts {
+		if !registered[c.name] {
+			pass.Reportf(c.pos,
+				"Site constant %s is not listed in the Sites registry; per-site injector state is indexed by registry position, so using it would panic",
+				c.name)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Golden test input for the faultsite rule inside the faultinject package
+// itself: every package-level Site constant must be listed in the Sites
+// registry literal, and the registry may hold only those constants.
+package faultinject
+
+// Site names one injection point (mirrors the real package's type).
+type Site string
+
+const (
+	// SiteGood is registered — correct.
+	SiteGood Site = "vm.good"
+	// SiteAlsoGood is registered — correct.
+	SiteAlsoGood Site = "vm.also.good"
+	// SiteOrphan is not listed in Sites below.
+	SiteOrphan Site = "vm.orphan" // want "SiteOrphan is not listed in the Sites registry"
+)
+
+// notASite is an ordinary string constant; the rule must leave it alone.
+const notASite = "just.a.string"
+
+// Sites is the registry. The expression entry is forbidden: registry rows
+// must be the Site constants so positional indexing matches the constants.
+var Sites = []Site{
+	SiteGood,
+	SiteAlsoGood,
+	Site("vm.sneaky"), // want "registry entries must be the package's Site constants"
+}

@@ -1,0 +1,30 @@
+// Golden test input for the faultsite rule at use sites: packages consuming
+// spcd/internal/faultinject must pass registry constants, never mint Site
+// values from strings.
+package fitest
+
+import (
+	"spcd/internal/faultinject"
+)
+
+// CountDrops queries with a registry constant — correct.
+func CountDrops(in *faultinject.Injector) uint64 {
+	return in.Count(faultinject.SiteVMFaultDrop)
+}
+
+// HitLiteral passes a string literal that implicitly adopts the Site type,
+// bypassing the registry — forbidden.
+func HitLiteral(in *faultinject.Injector) bool {
+	return in.Hit("vm.fault.drop") // want "string literal used as faultinject.Site"
+}
+
+// MintSite converts a string into a Site — forbidden.
+func MintSite(in *faultinject.Injector) uint64 {
+	s := faultinject.Site("my.adhoc.site") // want "ad-hoc faultinject.Site conversion"
+	return in.Count(s)
+}
+
+// PlainString stays a plain string; the rule only polices the Site type.
+func PlainString() string {
+	return "vm.fault.drop"
+}

@@ -172,6 +172,13 @@ func (d *Detector) Snapshot() *commmatrix.Matrix { return d.matrix.Copy() }
 // follow phase changes of the application.
 func (d *Detector) Decay(factor float64) { d.matrix.Scale(factor) }
 
+// Saturate models an overflow of the detection counters (fault injection's
+// policy.sampler.saturate site): the matrix is halved — the same aging
+// operation Decay applies (§III-B3), used here as overflow handling — so
+// relative communication magnitudes, and therefore the mapping decision,
+// survive the overflow.
+func (d *Detector) Saturate() { d.matrix.Scale(0.5) }
+
 // Stats returns a copy of the detector counters.
 func (d *Detector) Stats() DetectorStats { return d.stats }
 

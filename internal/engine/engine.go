@@ -23,6 +23,7 @@ import (
 	"spcd/internal/cache"
 	"spcd/internal/commmatrix"
 	"spcd/internal/energy"
+	"spcd/internal/faultinject"
 	"spcd/internal/obs"
 	"spcd/internal/topology"
 	"spcd/internal/vm"
@@ -37,6 +38,10 @@ type Env struct {
 	Workload   workloads.Workload
 	Seed       int64
 	NumThreads int
+	// Injector is the run's fault injector, nil on fault-free runs. Policies
+	// consult it for their own degradation sites (sampler saturation, remap
+	// delays); its methods are nil-safe.
+	Injector *faultinject.Injector
 }
 
 // Overheads is the modeled cost a policy imposed on the run, split the way
@@ -91,6 +96,14 @@ type Config struct {
 	// disabled path costs one sentinel comparison per scheduling slice and
 	// allocates nothing.
 	Probe *obs.Probe
+	// Injector, when non-nil, arms deterministic fault injection for this
+	// run (see internal/faultinject): lost/duplicated fault notifications
+	// and failing page migrations in the MMU, degraded detection in the
+	// policy, and per-thread stall bursts in the scheduling loop. One
+	// injector drives exactly one run. nil (the default) is a strict no-op:
+	// the hot loop pays one pointer comparison per slice and the simulated
+	// stream is byte-identical to a run without injection support.
+	Injector *faultinject.Injector
 }
 
 // normalize fills in defaults and validates.
@@ -206,6 +219,8 @@ func Run(cfg Config) (Metrics, error) {
 	as.SetAllocPolicy(cfg.AllocPolicy)
 	caches := cache.New(mach)
 	run := cfg.Workload.NewRun(cfg.Seed)
+	inj := cfg.Injector
+	as.SetInjector(inj)
 
 	// Observability wiring happens before Policy.Init so a policy that
 	// implements obs.Observer can register its own metrics and emit events
@@ -216,12 +231,14 @@ func Run(cfg Config) (Metrics, error) {
 		probe.SetDefaultClockHz(mach.ClockHz)
 		as.RegisterObs(probe)
 		caches.RegisterObs(probe)
+		inj.RegisterObs(probe)
 		if o, ok := cfg.Policy.(obs.Observer); ok {
 			o.SetProbe(probe)
 		}
 	}
 
-	env := &Env{Machine: mach, AS: as, Caches: caches, Workload: cfg.Workload, Seed: cfg.Seed, NumThreads: n}
+	env := &Env{Machine: mach, AS: as, Caches: caches, Workload: cfg.Workload,
+		Seed: cfg.Seed, NumThreads: n, Injector: inj}
 	if err := cfg.Policy.Init(env); err != nil {
 		return Metrics{}, err
 	}
@@ -367,6 +384,22 @@ func Run(cfg Config) (Metrics, error) {
 		for nextSample <= now {
 			probe.Snapshot(nextSample)
 			nextSample += sampleInterval
+		}
+
+		// Injected thread stall: the thread loses its slice to modeled
+		// external load and is rescheduled after the burst. The injector
+		// clamps the stall rate below 1, so every thread always eventually
+		// retires accesses and the loop terminates under any plan.
+		if inj != nil {
+			if burst := inj.StallCycles(); burst > 0 {
+				if probe != nil {
+					probe.Emit(th.clock, "engine", "stall.injected", th.id,
+						obs.Uint("cycles", burst))
+				}
+				th.clock += burst
+				heap.Fix(&h, 0)
+				continue
+			}
 		}
 
 		k := run.Next(th.id, buf)

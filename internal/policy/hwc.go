@@ -3,7 +3,9 @@ package policy
 import (
 	"spcd/internal/commmatrix"
 	"spcd/internal/engine"
+	"spcd/internal/faultinject"
 	"spcd/internal/mapping"
+	"spcd/internal/obs"
 	"spcd/internal/topology"
 	"spcd/internal/workloads"
 )
@@ -36,6 +38,9 @@ type HWC struct {
 	lastPair     [][]uint64
 	reads        uint64
 	readCycles   uint64
+
+	inj   *faultinject.Injector
+	probe *obs.Probe // nil unless the run is observed
 }
 
 // HWCOptions tunes the hardware-counter policy.
@@ -87,20 +92,39 @@ func (p *HWC) Init(env *engine.Env) error {
 		p.evalInterval = env.Machine.SecondsToCycles(0.050)
 	}
 	p.nextEval = p.evalInterval
+	p.inj = env.Injector
+	p.mig.configureFaults("hwc", env.Injector, p.probe, maxU64(p.evalInterval/8, 1))
 	return nil
 }
 
 // InitialAffinity implements engine.Policy.
 func (p *HWC) InitialAffinity() []int { return p.mig.affinity() }
 
+// SetProbe implements obs.Observer; the engine calls it before Init on
+// observed runs.
+func (p *HWC) SetProbe(pr *obs.Probe) { p.probe = pr }
+
 // Tick reads the counters, converts remote-supply events to an estimated
 // communication matrix, and evaluates it.
 func (p *HWC) Tick(now uint64) []int {
+	if p.mig.fellBack {
+		// Watchdog fallback (see migrator): stop reading counters; the run
+		// finishes on the OS placement.
+		return nil
+	}
 	if now < p.nextEval {
 		return nil
 	}
 	p.nextEval += p.evalInterval
 	p.readCounters()
+	// Injected counter saturation after a PMU read: halve the estimated
+	// matrix (aging as overflow handling), same response as SPCD.
+	if p.inj.Hit(faultinject.SitePolicySamplerSaturate) {
+		p.matrix.Scale(0.5)
+		if p.probe != nil {
+			p.probe.Emit(now, "hwc", "sampler.saturate", -1)
+		}
+	}
 
 	decay := p.opts.DecayFactor
 	if decay == 0 {
@@ -120,8 +144,13 @@ func (p *HWC) Tick(now uint64) []int {
 			scale = remaining / float64(st.Accesses)
 		}
 	}
-	aff, err := p.mig.consider(snapshot, scale)
-	if err != nil || aff == nil {
+	aff, err := p.mig.consider(now, snapshot, scale)
+	if err != nil {
+		// Tick cannot propagate errors; surface the mapper failure as an
+		// obs event rather than swallowing it, and keep the placement.
+		if p.probe != nil {
+			p.probe.Emit(now, "hwc", "evaluate.error", -1, obs.Str("err", err.Error()))
+		}
 		return nil
 	}
 	return aff

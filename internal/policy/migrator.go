@@ -2,23 +2,53 @@ package policy
 
 import (
 	"spcd/internal/commmatrix"
+	"spcd/internal/faultinject"
 	"spcd/internal/mapping"
+	"spcd/internal/obs"
 	"spcd/internal/topology"
 )
 
+// remapFailureBudget is how many consecutive remap-application failures the
+// watchdog tolerates before the policy falls back to the OS placement. A
+// single success resets the count, so only a persistently failing migration
+// path trips it.
+const remapFailureBudget = 6
+
 // migrator holds the placement-decision machinery shared by the detection
-// policies (SPCD and the TLB comparator): the communication filter and
+// policies (SPCD and the TLB/HWC comparators): the communication filter and
 // hierarchical mapping (via mapping.Mapper), cost-preserving alignment, the
 // relative-improvement check with escalating hysteresis, and the absolute
 // cost/benefit gate.
+//
+// Under fault injection (configureFaults) it also owns the degradation
+// machinery for delayed remap application: a computed placement whose
+// application fails (SitePolicyRemapDelay) is retried with doubling
+// virtual-time backoff, and a watchdog falls back to the initial OS-style
+// placement — permanently, emitted as the policy.fallback event — once
+// consecutive failures exceed remapFailureBudget. Every degradation
+// decision is emitted as an obs event.
 type migrator struct {
-	mach   *topology.Machine
-	mapper *mapping.Mapper
-	aff    []int
+	mach    *topology.Machine
+	mapper  *mapping.Mapper
+	aff     []int
+	initial []int
 
 	minImprovement float64
 	moveCost       float64
 	hysteresis     float64
+
+	// Fault-degradation state; zero/nil (the default when configureFaults
+	// is not called) makes apply() the unconditional success path the
+	// policies had before fault injection existed.
+	name        string
+	inj         *faultinject.Injector
+	probe       *obs.Probe
+	backoffBase uint64
+	backoff     uint64
+	pendingAff  []int
+	pendingAt   uint64
+	failures    int
+	fellBack    bool
 }
 
 func newMigrator(mach *topology.Machine, mapper *mapping.Mapper, initial []int,
@@ -33,22 +63,58 @@ func newMigrator(mach *topology.Machine, mapper *mapping.Mapper, initial []int,
 		mach:           mach,
 		mapper:         mapper,
 		aff:            append([]int(nil), initial...),
+		initial:        append([]int(nil), initial...),
 		minImprovement: minImprovement,
 		moveCost:       moveCost,
 		hysteresis:     1,
 	}
 }
 
+// configureFaults arms the remap-delay degradation path: name labels the
+// emitted obs events ("spcd", "tlb", "hwc"), inj supplies the
+// SitePolicyRemapDelay draws (nil-safe — a nil injector never delays), and
+// backoffBase is the first retry delay in cycles (the policy's evaluation
+// interval is the natural choice; retries quantize to evaluation times).
+func (g *migrator) configureFaults(name string, inj *faultinject.Injector, probe *obs.Probe, backoffBase uint64) {
+	g.name = name
+	g.inj = inj
+	g.probe = probe
+	g.backoffBase = backoffBase
+	if g.backoffBase == 0 {
+		g.backoffBase = 1
+	}
+}
+
 // affinity returns the current placement.
 func (g *migrator) affinity() []int { return append([]int(nil), g.aff...) }
+
+// pending reports whether a delayed remap is waiting to be retried. Policies
+// use it to bypass activity gates: the decision to remap was already made, so
+// its retries must not depend on fresh detection events arriving.
+func (g *migrator) pending() bool { return g.pendingAff != nil }
 
 // consider evaluates the matrix through the filter and, when a better
 // placement exists, decides whether migrating pays off. projectedScale
 // converts one matrix-unit of cost delta into projected cycles saved over
 // the rest of the run (the inverse sampling rate of the detection mechanism
-// times the remaining work); zero disables the absolute gate. It returns
+// times the remaining work); zero disables the absolute gate. now is the
+// simulated time, which drives the delayed-remap retry schedule. It returns
 // the new affinity, or nil when the placement should stay.
-func (g *migrator) consider(matrix *commmatrix.Matrix, projectedScale float64) ([]int, error) {
+func (g *migrator) consider(now uint64, matrix *commmatrix.Matrix, projectedScale float64) ([]int, error) {
+	if g.fellBack {
+		// Watchdog tripped: the policy runs on the OS placement for the
+		// rest of the run and stops proposing remaps.
+		return nil, nil
+	}
+	if g.pendingAff != nil {
+		// A delayed remap is in flight; retry it on its backoff schedule
+		// instead of computing a fresh placement (the kernel migration
+		// queue drains in order — new requests queue behind it).
+		if now < g.pendingAt {
+			return nil, nil
+		}
+		return g.apply(now, g.pendingAff)
+	}
 	aff, err := g.mapper.Evaluate(matrix)
 	if err != nil || aff == nil {
 		return nil, err
@@ -69,10 +135,50 @@ func (g *migrator) consider(matrix *commmatrix.Matrix, projectedScale float64) (
 			return nil, nil
 		}
 	}
+	return g.apply(now, aff)
+}
+
+// apply attempts to install target as the new placement. Under fault
+// injection the application may be delayed (SitePolicyRemapDelay): the
+// target is parked and retried after a doubling virtual-time backoff, and
+// once consecutive failures exceed the watchdog budget the migrator falls
+// back to its initial (OS scatter) placement for good, emitting
+// policy.fallback exactly once. Without an injector this is the
+// unconditional success path.
+func (g *migrator) apply(now uint64, target []int) ([]int, error) {
+	if g.inj.Hit(faultinject.SitePolicyRemapDelay) {
+		g.failures++
+		if g.failures >= remapFailureBudget {
+			g.fellBack = true
+			g.pendingAff = nil
+			g.aff = append([]int(nil), g.initial...)
+			if g.probe != nil {
+				g.probe.Emit(now, g.name, "policy.fallback", -1,
+					obs.Uint("failures", uint64(g.failures)))
+			}
+			return g.affinity(), nil
+		}
+		if g.backoff == 0 {
+			g.backoff = g.backoffBase
+		} else {
+			g.backoff *= 2
+		}
+		g.pendingAff = target
+		g.pendingAt = now + g.backoff
+		if g.probe != nil {
+			g.probe.Emit(now, g.name, "remap.delayed", -1,
+				obs.Uint("failures", uint64(g.failures)),
+				obs.Uint("retry_at", g.pendingAt))
+		}
+		return nil, nil
+	}
+	g.pendingAff = nil
+	g.backoff = 0
+	g.failures = 0
 	// Each applied migration raises the bar for the next one, so a static
 	// pattern settles after the first good placement while a genuine phase
 	// change (large cost gap) still gets through.
 	g.hysteresis *= 1.5
-	g.aff = aff
+	g.aff = append([]int(nil), target...)
 	return g.affinity(), nil
 }

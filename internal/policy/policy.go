@@ -20,11 +20,13 @@ import (
 	"spcd/internal/commmatrix"
 	"spcd/internal/core"
 	"spcd/internal/engine"
+	"spcd/internal/faultinject"
 	"spcd/internal/hashtab"
 	"spcd/internal/mapping"
 	"spcd/internal/obs"
 	"spcd/internal/topology"
 	"spcd/internal/trace"
+	"spcd/internal/vm"
 )
 
 // Scatter places threads breadth-first: slot 0 of each core first,
@@ -272,8 +274,30 @@ type SPCD struct {
 	pagesPerRegion  uint64
 	regionPageShift uint
 
+	// Fault-degradation state for the data-mapping extension: page
+	// migrations that failed transiently wait here for a bounded number of
+	// backoff retries (see migrateData).
+	inj             *faultinject.Injector
+	pageRetries     []pageRetry
+	pageRetryDrops  uint64
+	samplerSaturate uint64
+
 	probe *obs.Probe // nil unless the run is observed
 }
+
+// pageRetry is one page migration awaiting a backoff retry after a
+// transient failure.
+type pageRetry struct {
+	vpn       uint64
+	node      int
+	attempts  int
+	notBefore uint64
+}
+
+// maxPageRetries bounds how often one failed page migration is retried
+// before it is dropped (counted, and re-proposable at a later evaluation if
+// the region still qualifies).
+const maxPageRetries = 3
 
 // NewSPCD creates the SPCD policy with the given options (zero value =
 // paper defaults).
@@ -320,6 +344,11 @@ func (p *SPCD) Init(env *engine.Env) error {
 	if p.nextEval == 0 {
 		p.nextEval = p.evalInterval
 	}
+	p.inj = env.Injector
+	// Delayed remaps retry on a schedule that starts well inside one
+	// evaluation period (retries quantize to evaluation times) so the
+	// watchdog budget is reachable within a run.
+	p.mig.configureFaults("spcd", env.Injector, p.probe, maxU64(p.evalInterval/8, 1))
 	p.configuredFloor = cfg.MinBatch
 	if cfg.Granularity >= env.Machine.PageSize {
 		p.pagesPerRegion = uint64(cfg.Granularity / env.Machine.PageSize)
@@ -385,9 +414,29 @@ func (p *SPCD) SetProbe(pr *obs.Probe) {
 // Tick runs the sampler on its own schedule and periodically evaluates the
 // communication matrix through the filter, migrating when it triggers.
 func (p *SPCD) Tick(now uint64) []int {
-	if cleared := p.sampler.MaybeRun(now); cleared > 0 && p.probe != nil {
-		p.probe.Emit(now, "spcd", "sampler.batch", -1,
-			obs.Uint("pages_cleared", uint64(cleared)))
+	if p.mig.fellBack {
+		// Watchdog fallback (see migrator): SPCD now behaves like the OS
+		// policy — no sampling (so no induced-fault overhead), no
+		// evaluations, no data mapping — for the rest of the run.
+		return nil
+	}
+	if cleared := p.sampler.MaybeRun(now); cleared > 0 {
+		if p.probe != nil {
+			p.probe.Emit(now, "spcd", "sampler.batch", -1,
+				obs.Uint("pages_cleared", uint64(cleared)))
+		}
+		// Injected counter saturation after a batch: respond by halving
+		// the detection counters — the paper's aging operation (§III-B3)
+		// applied as overflow handling — so relative magnitudes survive
+		// and the mapping still sees the dominant pattern.
+		if p.inj.Hit(faultinject.SitePolicySamplerSaturate) {
+			p.detector.Saturate()
+			p.samplerSaturate++
+			if p.probe != nil {
+				p.probe.Emit(now, "spcd", "sampler.saturate", -1,
+					obs.Uint("pages_cleared", uint64(cleared)))
+			}
+		}
 	}
 	if now < p.nextEval {
 		return nil
@@ -396,7 +445,7 @@ func (p *SPCD) Tick(now uint64) []int {
 	if p.opts.DataMapping {
 		// Page placement relies on per-region fault counts, not on
 		// communication events, so it runs on every evaluation tick.
-		p.migrateData()
+		p.migrateData(now)
 	}
 	matrix := p.detector.Snapshot()
 	if p.opts.OnEvaluate != nil {
@@ -420,7 +469,7 @@ func (p *SPCD) Tick(now uint64) []int {
 	if minNew == 0 {
 		minNew = 2 * p.n
 	}
-	if minNew > 0 {
+	if minNew > 0 && !p.mig.pending() {
 		events := p.detector.Stats().CommEvents
 		fresh := events - p.lastEvents
 		if fresh < uint64(minNew) {
@@ -460,8 +509,17 @@ func (p *SPCD) Tick(now uint64) []int {
 			scale = remaining / float64(st.InducedFaults)
 		}
 	}
-	aff, err := p.mig.consider(matrix, scale)
-	if err != nil || aff == nil {
+	aff, err := p.mig.consider(now, matrix, scale)
+	if err != nil {
+		// Tick cannot propagate errors; a mapper failure is surfaced as an
+		// obs event instead of being silently swallowed, and the placement
+		// stays put (the safe outcome).
+		if p.probe != nil {
+			p.probe.Emit(now, "spcd", "evaluate.error", -1, obs.Str("err", err.Error()))
+		}
+		return nil
+	}
+	if aff == nil {
 		return nil
 	}
 	if p.opts.OnMigrate != nil {
@@ -476,7 +534,14 @@ func (p *SPCD) Tick(now uint64) []int {
 
 // migrateData implements the data-mapping extension: regions whose faults
 // are dominated by one thread move to that thread's current NUMA node.
-func (p *SPCD) migrateData() {
+// Under fault injection a migration can fail transiently (move_pages under
+// memory pressure) or because the target node is at capacity; transient
+// failures are retried up to maxPageRetries times with doubling
+// virtual-time backoff, capacity failures follow the same bounded schedule
+// (pages leaving the node can clear them), and exhausted retries are
+// dropped and counted. Degradation is summarized as one obs event per
+// evaluation that saw failures.
+func (p *SPCD) migrateData(now uint64) {
 	dominance := p.opts.DataDominance
 	if dominance == 0 {
 		dominance = 0.7
@@ -485,6 +550,37 @@ func (p *SPCD) migrateData() {
 	if pageCost == 0 {
 		pageCost = 6000
 	}
+	var failed, dropped, retried uint64
+	backoffBase := maxU64(p.evalInterval/4, 1)
+
+	// Drain due retries first, in enqueue order (deterministic).
+	keep := p.pageRetries[:0]
+	for _, r := range p.pageRetries {
+		if now < r.notBefore {
+			keep = append(keep, r)
+			continue
+		}
+		switch p.env.AS.TryMigratePage(r.vpn, r.node) {
+		case vm.MigrateOK:
+			p.dataMigrations++
+			p.dataMigCycles += pageCost
+			retried++
+		case vm.MigrateNoop:
+			// The page already moved (or its target changed); nothing owed.
+		default: // transient or capacity failure
+			r.attempts++
+			if r.attempts > maxPageRetries {
+				dropped++
+				p.pageRetryDrops++
+			} else {
+				r.notBefore = now + backoffBase<<uint(r.attempts-1)
+				keep = append(keep, r)
+				failed++
+			}
+		}
+	}
+	p.pageRetries = keep
+
 	granShift := p.detector.GranularityShift()
 	p.detector.ForEachRegion(func(region uint64, sharers []hashtab.Sharer) {
 		var total, best uint32
@@ -502,16 +598,42 @@ func (p *SPCD) migrateData() {
 		node := p.mach.NodeOf(p.mig.aff[owner])
 		firstPage := (region << granShift) >> p.regionPageShift
 		for i := uint64(0); i < p.pagesPerRegion; i++ {
-			if p.env.AS.MigratePage(firstPage+i, node) {
+			switch p.env.AS.TryMigratePage(firstPage+i, node) {
+			case vm.MigrateOK:
 				p.dataMigrations++
 				p.dataMigCycles += pageCost
+			case vm.MigrateNoop:
+				// Unmapped or already local: nothing to do.
+			default: // transient or capacity failure: schedule a retry
+				failed++
+				p.pageRetries = append(p.pageRetries, pageRetry{
+					vpn: firstPage + i, node: node,
+					attempts: 1, notBefore: now + backoffBase,
+				})
 			}
 		}
 	})
+	if p.probe != nil && (failed > 0 || dropped > 0) {
+		p.probe.Emit(now, "spcd", "data.migrate.degraded", -1,
+			obs.Uint("failed", failed), obs.Uint("retried_ok", retried),
+			obs.Uint("dropped", dropped), obs.Uint("pending", uint64(len(p.pageRetries))))
+	}
 }
 
 // DataMigrations returns how many pages the data-mapping extension moved.
 func (p *SPCD) DataMigrations() uint64 { return p.dataMigrations }
+
+// PageRetryDrops returns how many failed page migrations exhausted their
+// retry budget under fault injection.
+func (p *SPCD) PageRetryDrops() uint64 { return p.pageRetryDrops }
+
+// SamplerSaturations returns how many injected counter overflows the
+// sampler absorbed (each answered by halving the detection counters).
+func (p *SPCD) SamplerSaturations() uint64 { return p.samplerSaturate }
+
+// FellBack reports whether the remap watchdog abandoned the mechanism and
+// reverted to the OS placement for the rest of the run.
+func (p *SPCD) FellBack() bool { return p.mig.fellBack }
 
 // Overheads reports the modeled detection and mapping cost (§V-F). Page
 // migration work of the data-mapping extension counts as mapping overhead.

@@ -5,7 +5,9 @@ import (
 
 	"spcd/internal/commmatrix"
 	"spcd/internal/engine"
+	"spcd/internal/faultinject"
 	"spcd/internal/mapping"
+	"spcd/internal/obs"
 	"spcd/internal/topology"
 	"spcd/internal/workloads"
 )
@@ -38,6 +40,9 @@ type TLB struct {
 	scans      uint64
 	scanCycles uint64
 	mapper     *mapping.Mapper
+
+	inj   *faultinject.Injector
+	probe *obs.Probe // nil unless the run is observed
 }
 
 // TLBOptions tunes the TLB policy.
@@ -99,20 +104,39 @@ func (p *TLB) Init(env *engine.Env) error {
 		p.evalInterval = env.Machine.SecondsToCycles(0.050)
 	}
 	p.nextEval = p.evalInterval
+	p.inj = env.Injector
+	p.mig.configureFaults("tlb", env.Injector, p.probe, maxU64(p.evalInterval/8, 1))
 	return nil
 }
 
 // InitialAffinity implements engine.Policy.
 func (p *TLB) InitialAffinity() []int { return p.mig.affinity() }
 
+// SetProbe implements obs.Observer; the engine calls it before Init on
+// observed runs.
+func (p *TLB) SetProbe(pr *obs.Probe) { p.probe = pr }
+
 // Tick scans TLBs on the scan period and evaluates the matrix on the eval
 // period.
 func (p *TLB) Tick(now uint64) []int {
+	if p.mig.fellBack {
+		// Watchdog fallback (see migrator): stop scanning and evaluating;
+		// the run finishes on the OS placement.
+		return nil
+	}
 	if now >= p.nextScan {
 		for now >= p.nextScan {
 			p.nextScan += p.scanInterval
 		}
 		p.scan()
+		// Injected counter saturation after a scan: halve the accumulated
+		// matrix (aging as overflow handling), same response as SPCD.
+		if p.inj.Hit(faultinject.SitePolicySamplerSaturate) {
+			p.matrix.Scale(0.5)
+			if p.probe != nil {
+				p.probe.Emit(now, "tlb", "sampler.saturate", -1)
+			}
+		}
 	}
 	if now < p.nextEval {
 		return nil
@@ -136,8 +160,13 @@ func (p *TLB) Tick(now uint64) []int {
 			scale = remaining / float64(p.scans*uint64(p.n))
 		}
 	}
-	aff, err := p.mig.consider(snapshot, scale)
-	if err != nil || aff == nil {
+	aff, err := p.mig.consider(now, snapshot, scale)
+	if err != nil {
+		// Tick cannot propagate errors; surface the mapper failure as an
+		// obs event rather than swallowing it, and keep the placement.
+		if p.probe != nil {
+			p.probe.Emit(now, "tlb", "evaluate.error", -1, obs.Str("err", err.Error()))
+		}
 		return nil
 	}
 	return aff

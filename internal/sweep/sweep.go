@@ -39,6 +39,7 @@ import (
 	"sync"
 
 	"spcd/internal/engine"
+	"spcd/internal/faultinject"
 	"spcd/internal/obs"
 	"spcd/internal/policy"
 	"spcd/internal/topology"
@@ -152,17 +153,25 @@ func DeriveSeed(master int64, key string) int64 {
 
 // PanicError is the recorded failure of an experiment whose run panicked.
 // The sweep continues; the panic value and goroutine stack are preserved
-// here for the report.
+// here for the report, together with everything needed to replay the failing
+// run in isolation: the config's derived seed and the digest of the fault
+// plan in effect (empty when the sweep ran fault-free).
 type PanicError struct {
-	Key   string
-	Value any
-	Stack []byte
+	Key         string
+	Seed        int64
+	FaultDigest string
+	Value       any
+	Stack       []byte
 }
 
-// Error renders the panic with its config key; the stack is available on
-// the struct.
+// Error renders the panic with its config key and replay coordinates (seed,
+// fault-plan digest); the stack is available on the struct.
 func (e *PanicError) Error() string {
-	return fmt.Sprintf("sweep: %s: panic: %v", e.Key, e.Value)
+	if e.FaultDigest != "" {
+		return fmt.Sprintf("sweep: %s: panic (seed %d, faults %s): %v",
+			e.Key, e.Seed, e.FaultDigest, e.Value)
+	}
+	return fmt.Sprintf("sweep: %s: panic (seed %d): %v", e.Key, e.Seed, e.Value)
 }
 
 // Result is the outcome of one config: its metrics, or the error that
@@ -180,7 +189,11 @@ type Result struct {
 	// a simulation output: it varies run to run and is excluded from the
 	// determinism contract.
 	WallNanos int64
-	Err       error
+	// Faults counts the injected faults per site, in registry order (nil
+	// when the sweep ran without a fault plan). Part of the determinism
+	// contract: same seed and plan give the same counts.
+	Faults []faultinject.SiteCount
+	Err    error
 }
 
 // FirstErr returns the first error in canonical config order, or nil.
@@ -234,6 +247,12 @@ type Runner struct {
 	// wall-clock reads (the determinism spcdlint rule applies to this
 	// package); cmd/perfbench injects a monotonic clock.
 	Now func() int64
+
+	// FaultPlan, when set, injects faults into every run: each config gets
+	// its own Injector seeded from (plan seed, run seed), so fault timing is
+	// as positional and worker-count-independent as the run seeds are. Nil
+	// (or an inactive plan) leaves every run on the exact fault-free paths.
+	FaultPlan *faultinject.Plan
 }
 
 // Run executes every config and returns the results in the order the
@@ -324,9 +343,14 @@ func (r *Runner) Run(configs []Config) ([]Result, error) {
 // the run is captured into the result.
 func (r *Runner) runOne(c Config) (res Result) {
 	res.Config = c
+	digest := ""
+	if r.FaultPlan != nil {
+		digest = r.FaultPlan.Digest()
+	}
 	defer func() {
 		if v := recover(); v != nil {
-			res.Err = &PanicError{Key: c.Key(), Value: v, Stack: debug.Stack()}
+			res.Err = &PanicError{Key: c.Key(), Seed: res.Seed,
+				FaultDigest: digest, Value: v, Stack: debug.Stack()}
 		}
 	}()
 	seed := int64(0)
@@ -350,6 +374,10 @@ func (r *Runner) runOne(c Config) (res Result) {
 	if r.Observe != nil {
 		res.Probe = r.Observe(c)
 	}
+	var inj *faultinject.Injector
+	if r.FaultPlan != nil {
+		inj = faultinject.NewInjector(*r.FaultPlan, seed)
+	}
 	var start int64
 	if r.Now != nil {
 		start = r.Now()
@@ -360,6 +388,7 @@ func (r *Runner) runOne(c Config) (res Result) {
 		Policy:   p,
 		Seed:     seed,
 		Probe:    res.Probe,
+		Injector: inj,
 	})
 	if r.Now != nil {
 		res.WallNanos = r.Now() - start
@@ -369,5 +398,6 @@ func (r *Runner) runOne(c Config) (res Result) {
 		return res
 	}
 	res.Metrics = m
+	res.Faults = inj.SiteCounts()
 	return res
 }

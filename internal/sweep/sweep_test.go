@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"spcd/internal/faultinject"
 	"spcd/internal/obs"
 	"spcd/internal/topology"
 	"spcd/internal/workloads"
@@ -124,6 +125,108 @@ func TestPanicCapture(t *testing.T) {
 	}
 	if got := results[2].Metrics.ExecCycles; got == 0 {
 		t.Error("config after the panic produced no metrics")
+	}
+}
+
+// TestPanicCaptureReplayCoordinates proves a captured panic records what is
+// needed to replay the failing run in isolation — the config's derived seed
+// and the fault-plan digest — and that the panicking config does not poison
+// the canonical-order collection around it.
+func TestPanicCaptureReplayCoordinates(t *testing.T) {
+	mach := topology.DefaultXeon()
+	w, err := workloads.NewNPB("CG", 8, workloads.ClassTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faultinject.CanonicalPlan(99)
+	configs := []Config{
+		{Kernel: "CG", Class: workloads.ClassTest, Threads: 8, Policy: "os"},
+		{Workload: panicWorkload{w}, Policy: "os", Rep: 1},
+		{Kernel: "SP", Class: workloads.ClassTest, Threads: 8, Policy: "os"},
+	}
+	r := Runner{Machine: mach, MasterSeed: 7, Parallelism: len(configs), FaultPlan: &plan}
+	results, err := r.Run(configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pe *PanicError
+	if !errors.As(results[1].Err, &pe) {
+		t.Fatalf("want a *PanicError, got %T: %v", results[1].Err, results[1].Err)
+	}
+	wantSeed := DeriveSeed(7, configs[1].SeedKey())
+	if pe.Seed != wantSeed {
+		t.Errorf("PanicError.Seed = %d, want the derived seed %d", pe.Seed, wantSeed)
+	}
+	if pe.FaultDigest != plan.Digest() {
+		t.Errorf("PanicError.FaultDigest = %q, want %q", pe.FaultDigest, plan.Digest())
+	}
+	msg := pe.Error()
+	if !strings.Contains(msg, fmt.Sprint(wantSeed)) || !strings.Contains(msg, plan.Digest()) {
+		t.Errorf("Error() = %q, want it to carry seed and digest", msg)
+	}
+	// The neighbors still completed, in canonical slots, with their own
+	// replay coordinates intact.
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil {
+			t.Fatalf("healthy config %d failed: %v", i, results[i].Err)
+		}
+		if results[i].Config.Key() != configs[i].Key() {
+			t.Errorf("result %d is %s, want %s", i, results[i].Config.Key(), configs[i].Key())
+		}
+		if results[i].Metrics.ExecCycles == 0 {
+			t.Errorf("config %d produced no metrics", i)
+		}
+		if results[i].Faults == nil {
+			t.Errorf("config %d has no fault tally despite an active plan", i)
+		}
+	}
+}
+
+// TestPanicErrorWithoutFaults: fault-free sweeps render the panic without a
+// digest (there is no plan to pin).
+func TestPanicErrorWithoutFaults(t *testing.T) {
+	pe := &PanicError{Key: "k", Seed: 5, Value: "boom"}
+	if got := pe.Error(); strings.Contains(got, "faults") {
+		t.Errorf("Error() = %q mentions faults with no plan armed", got)
+	}
+	pe.FaultDigest = "deadbeefdeadbeef"
+	if got := pe.Error(); !strings.Contains(got, "deadbeefdeadbeef") {
+		t.Errorf("Error() = %q omits the armed digest", got)
+	}
+}
+
+// TestFaultedSweepDeterministic extends the worker-count contract to chaos
+// runs: with a fault plan armed, results — including the per-site injected
+// fault tallies — are byte-identical across parallelism levels.
+func TestFaultedSweepDeterministic(t *testing.T) {
+	mach := topology.DefaultXeon()
+	plan := faultinject.CanonicalPlan(42)
+	renderFaults := func(results []Result) string {
+		var b strings.Builder
+		b.WriteString(render(t, results))
+		for i := range results {
+			fmt.Fprintf(&b, "%s faults=%v\n", results[i].Config.Key(), results[i].Faults)
+		}
+		return b.String()
+	}
+	var base string
+	for _, workers := range []int{1, 8} {
+		r := Runner{Machine: mach, MasterSeed: 42, Parallelism: workers, FaultPlan: &plan}
+		results, err := r.Run(testConfigs(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := renderFaults(results)
+		if base == "" {
+			base = got
+			continue
+		}
+		if got != base {
+			t.Errorf("faulted sweep diverged at parallelism %d:\nbase:\n%s\ngot:\n%s", workers, base, got)
+		}
+	}
+	if !strings.Contains(base, "faultinject.") && !strings.Contains(base, "vm.migrate.fail") {
+		t.Logf("render:\n%s", base)
 	}
 }
 

@@ -1,0 +1,157 @@
+package vm
+
+import (
+	"testing"
+
+	"spcd/internal/faultinject"
+	"spcd/internal/topology"
+)
+
+// TestFaultDropSkipsHandlers: a dropped notification loses exactly the
+// handler delivery — the fault itself (allocation, stats, cost) already
+// happened, like a bypassed kernel hook.
+func TestFaultDropSkipsHandlers(t *testing.T) {
+	as := NewAddressSpace(topology.DefaultXeon())
+	as.SetInjector(faultinject.NewInjector(faultinject.Plan{Seed: 1, FaultDropRate: 1}, 7))
+	seen := 0
+	as.AddHandler(func(Fault) { seen++ })
+	for i := 0; i < 10; i++ {
+		as.Access(0, 0, uint64(0x1000*(i+1)), true, uint64(i))
+	}
+	if seen != 0 {
+		t.Errorf("handlers saw %d faults under a 100%% drop plan, want 0", seen)
+	}
+	st := as.Stats()
+	if st.FirstTouchFaults != 10 {
+		t.Errorf("FirstTouchFaults = %d, want 10 (the faults themselves must still happen)", st.FirstTouchFaults)
+	}
+	if as.inj.Count(faultinject.SiteVMFaultDrop) != 10 {
+		t.Errorf("drop count = %d, want 10", as.inj.Count(faultinject.SiteVMFaultDrop))
+	}
+}
+
+// TestFaultDupDoublesDelivery: a duplicated notification runs the handler
+// chain exactly twice for the same fault.
+func TestFaultDupDoublesDelivery(t *testing.T) {
+	as := NewAddressSpace(topology.DefaultXeon())
+	as.SetInjector(faultinject.NewInjector(faultinject.Plan{Seed: 1, FaultDupRate: 1}, 7))
+	seen := 0
+	as.AddHandler(func(Fault) { seen++ })
+	for i := 0; i < 10; i++ {
+		as.Access(0, 0, uint64(0x1000*(i+1)), true, uint64(i))
+	}
+	if seen != 20 {
+		t.Errorf("handlers saw %d deliveries under a 100%% dup plan, want 20", seen)
+	}
+}
+
+// TestMigrateTransientFail: a 100% transient-failure plan fails every
+// migration attempt and leaves the page where it was, so a retrying caller
+// sees a stable failure it can back off on.
+func TestMigrateTransientFail(t *testing.T) {
+	as := NewAddressSpace(topology.DefaultXeon())
+	as.SetInjector(faultinject.NewInjector(faultinject.Plan{Seed: 2, MigrateFailRate: 1}, 7))
+	as.Access(0, 0, 0x1000, true, 1)
+	vpn := as.PageOf(0x1000)
+	if got := as.TryMigratePage(vpn, 1); got != MigrateTransientFail {
+		t.Fatalf("TryMigratePage = %v, want MigrateTransientFail", got)
+	}
+	if as.MigratePage(vpn, 1) {
+		t.Error("MigratePage reported success under a 100%% failure plan")
+	}
+	if as.NodeOfPage(vpn) != 0 {
+		t.Errorf("page moved to node %d despite the failure", as.NodeOfPage(vpn))
+	}
+	if as.Stats().PageMigrations != 0 {
+		t.Errorf("PageMigrations = %d, want 0", as.Stats().PageMigrations)
+	}
+}
+
+// TestMigrateNoopBeatsInjection: pages that would not migrate anyway (same
+// node, unmapped, bad node) report MigrateNoop without consuming a fault
+// draw — no-ops are not failures.
+func TestMigrateNoopBeatsInjection(t *testing.T) {
+	as := NewAddressSpace(topology.DefaultXeon())
+	as.SetInjector(faultinject.NewInjector(faultinject.Plan{Seed: 2, MigrateFailRate: 1}, 7))
+	as.Access(0, 0, 0x1000, true, 1)
+	vpn := as.PageOf(0x1000)
+	if got := as.TryMigratePage(vpn, 0); got != MigrateNoop {
+		t.Errorf("same-node migration = %v, want MigrateNoop", got)
+	}
+	if got := as.TryMigratePage(999, 1); got != MigrateNoop {
+		t.Errorf("unmapped page = %v, want MigrateNoop", got)
+	}
+	if got := as.TryMigratePage(vpn, 99); got != MigrateNoop {
+		t.Errorf("bad node = %v, want MigrateNoop", got)
+	}
+	if as.inj.Count(faultinject.SiteVMMigrateFail) != 0 {
+		t.Error("no-op paths consumed fault draws")
+	}
+}
+
+// TestMigrateCapacityFail: a node at its capacity cap rejects incoming
+// pages deterministically (no RNG), and pages leaving the node clear the
+// condition.
+func TestMigrateCapacityFail(t *testing.T) {
+	as := NewAddressSpace(topology.DefaultXeon())
+	// Cap = 1.5 × mapped/nodes: with 4 mapped pages on 2 nodes, each node
+	// holds at most 3.
+	as.SetInjector(faultinject.NewInjector(faultinject.Plan{Seed: 3, NodeCapacityFactor: 1.5}, 7))
+	// Touch 4 pages from context 0 (all land on node 0).
+	for i := 0; i < 4; i++ {
+		as.Access(0, 0, uint64(0x1000*(i+1)), true, uint64(i))
+	}
+	vpns := make([]uint64, 4)
+	for i := range vpns {
+		vpns[i] = as.PageOf(uint64(0x1000 * (i + 1)))
+	}
+	// The first three migrations fill node 1 to its cap of 3; the fourth is
+	// rejected deterministically.
+	for i := 0; i < 3; i++ {
+		if got := as.TryMigratePage(vpns[i], 1); got != MigrateOK {
+			t.Fatalf("migration %d = %v, want MigrateOK", i, got)
+		}
+	}
+	if got := as.TryMigratePage(vpns[3], 1); got != MigrateCapacityFail {
+		t.Fatalf("fourth migration = %v, want MigrateCapacityFail (node at cap)", got)
+	}
+	// A page leaving node 1 makes room; the rejected migration then succeeds
+	// — exhaustion is persistent state, not a transient draw.
+	if got := as.TryMigratePage(vpns[0], 0); got != MigrateOK {
+		t.Fatalf("migration back = %v, want MigrateOK", got)
+	}
+	if got := as.TryMigratePage(vpns[3], 1); got != MigrateOK {
+		t.Fatalf("retry after space freed = %v, want MigrateOK", got)
+	}
+}
+
+// TestMigrateOutcomeString covers the enum rendering used in logs and tests.
+func TestMigrateOutcomeString(t *testing.T) {
+	cases := map[MigrateOutcome]string{
+		MigrateOK:            "ok",
+		MigrateNoop:          "noop",
+		MigrateTransientFail: "transient-fail",
+		MigrateCapacityFail:  "capacity-fail",
+	}
+	for out, want := range cases {
+		if out.String() != want {
+			t.Errorf("%d.String() = %q, want %q", out, out.String(), want)
+		}
+	}
+}
+
+// TestNilInjectorPreservesBehavior: with no injector armed, TryMigratePage
+// and the fault path behave exactly as before the fault layer existed.
+func TestNilInjectorPreservesBehavior(t *testing.T) {
+	as := NewAddressSpace(topology.DefaultXeon())
+	seen := 0
+	as.AddHandler(func(Fault) { seen++ })
+	as.Access(0, 0, 0x1000, true, 1)
+	vpn := as.PageOf(0x1000)
+	if got := as.TryMigratePage(vpn, 1); got != MigrateOK {
+		t.Errorf("TryMigratePage = %v, want MigrateOK", got)
+	}
+	if seen != 1 {
+		t.Errorf("handler saw %d faults, want 1", seen)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"spcd/internal/faultinject"
 	"spcd/internal/obs"
 	"spcd/internal/topology"
 )
@@ -178,6 +179,11 @@ type AddressSpace struct {
 	// nil histogram is a no-op, and it is only touched on the (rare) fault
 	// path — the TLB-hit fast path never sees it.
 	obsFault *obs.Histogram
+
+	// inj, when non-nil, perturbs the fault-notification and page-migration
+	// paths (see internal/faultinject). Like obsFault it is only consulted
+	// off the TLB-hit fast path, so fault-free runs are unchanged.
+	inj *faultinject.Injector
 }
 
 // NewAddressSpace creates the MMU state for one application on machine m.
@@ -382,7 +388,24 @@ func (as *AddressSpace) Access(thread, ctx int, addr uint64, write bool, now uin
 	return Translation{Frame: entry.frame, Node: int(entry.node), Cycles: cycles, Faulted: faulted}
 }
 
+// SetInjector arms fault injection on the notification and migration paths.
+// A nil injector (the default) leaves both paths exactly as they were.
+func (as *AddressSpace) SetInjector(in *faultinject.Injector) { as.inj = in }
+
 func (as *AddressSpace) fireFault(f Fault) {
+	if as.inj != nil {
+		// The fault itself (allocation, present-bit restore, cycle cost)
+		// already happened; only the *notification* to the handler chain is
+		// perturbed, exactly like a bypassed or retried kernel hook.
+		if as.inj.Hit(faultinject.SiteVMFaultDrop) {
+			return
+		}
+		if as.inj.Hit(faultinject.SiteVMFaultDup) {
+			for _, h := range as.handlers {
+				h(f)
+			}
+		}
+	}
 	for _, h := range as.handlers {
 		h(f)
 	}
@@ -476,15 +499,68 @@ func (as *AddressSpace) TLBPages(ctx int, out []uint64) []uint64 {
 // TLBSize returns the number of TLB entries per hardware context.
 func (as *AddressSpace) TLBSize() int { return tlbSize }
 
+// MigrateOutcome is the result of a page-migration attempt. Only MigrateOK
+// moved the page; the distinction between the failure modes drives the
+// policies' retry behavior (transient failures are worth retrying with
+// backoff, a node at capacity is not until pages leave it).
+type MigrateOutcome int
+
+const (
+	// MigrateOK: the page moved.
+	MigrateOK MigrateOutcome = iota
+	// MigrateNoop: nothing to do — the page is unmapped, already on the
+	// target node, or the node is out of range.
+	MigrateNoop
+	// MigrateTransientFail: an injected transient failure, as move_pages(2)
+	// returns -EAGAIN under memory pressure. Retrying later may succeed.
+	MigrateTransientFail
+	// MigrateCapacityFail: the target node is at its injected capacity cap.
+	MigrateCapacityFail
+)
+
+// String names the outcome.
+func (o MigrateOutcome) String() string {
+	switch o {
+	case MigrateOK:
+		return "ok"
+	case MigrateNoop:
+		return "noop"
+	case MigrateTransientFail:
+		return "transient-fail"
+	case MigrateCapacityFail:
+		return "capacity-fail"
+	}
+	return fmt.Sprintf("MigrateOutcome(%d)", int(o))
+}
+
 // MigratePage moves page vpn to NUMA node, modeling the kernel's page
 // migration (copy to a frame on the target node, remap, TLB shootdown). It
 // reports whether a migration happened (false if unmapped or already
-// there). The frame number changes, so physically indexed caches naturally
-// treat the moved page as cold.
+// there, and under fault injection also on transient or capacity failures).
+// Callers that need to distinguish the failure modes use TryMigratePage.
+// The frame number changes, so physically indexed caches naturally treat
+// the moved page as cold.
 func (as *AddressSpace) MigratePage(vpn uint64, node int) bool {
+	return as.TryMigratePage(vpn, node) == MigrateOK
+}
+
+// TryMigratePage is MigratePage with the full outcome: it distinguishes
+// no-ops from the injected failure modes so policies can retry transient
+// failures with backoff and give up on exhausted nodes.
+func (as *AddressSpace) TryMigratePage(vpn uint64, node int) MigrateOutcome {
 	entry := as.lookupPTE(vpn)
 	if entry == nil || int(entry.node) == node || node < 0 || node >= as.mach.NumNodes() {
-		return false
+		return MigrateNoop
+	}
+	if as.inj != nil {
+		// Capacity is checked first: it is a persistent property of the
+		// target node, while the transient draw models this attempt only.
+		if as.inj.NodeOverCapacity(as.nodePages[node], as.mappedPages, as.mach.NumNodes()) {
+			return MigrateCapacityFail
+		}
+		if as.inj.Hit(faultinject.SiteVMMigrateFail) {
+			return MigrateTransientFail
+		}
 	}
 	as.nodePages[entry.node]--
 	as.nodePages[node]++
@@ -499,7 +575,7 @@ func (as *AddressSpace) MigratePage(vpn uint64, node int) bool {
 			as.stats.Shootdowns++
 		}
 	}
-	return true
+	return MigrateOK
 }
 
 // Present reports whether page vpn is mapped and present.

@@ -55,6 +55,12 @@ type Sweep struct {
 	// experiments finish, in completion order: done of total, the
 	// finished config's key, and its error if it failed.
 	OnProgress func(done, total int, key string, err error)
+
+	// Faults, when set, injects the plan's faults into every experiment of
+	// the grid (each run gets its own deterministic injector derived from
+	// the plan and the run seed — the determinism contract above covers
+	// faulted sweeps too). Nil or an inactive plan runs the grid fault-free.
+	Faults *FaultPlan
 }
 
 // SweepResults holds a sweep's outcome grouped per kernel, plus the
@@ -126,6 +132,7 @@ func (s Sweep) Run() (*SweepResults, error) {
 		MasterSeed:  s.MasterSeed,
 		Parallelism: s.Parallelism,
 		Probe:       s.Probe,
+		FaultPlan:   s.Faults,
 	}
 	if s.Seeder != nil {
 		runner.Seeder = func(c sweep.Config) int64 { return s.Seeder(c.Kernel, c.Policy, c.Rep) }
