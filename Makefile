@@ -10,7 +10,7 @@
 # verify.sh's BENCH=1 / OBS=1 blocks call these targets, so the recipe lives
 # in exactly one place.
 
-.PHONY: build test race lint verify bench bench-smoke obs-smoke chaos-smoke
+.PHONY: build test race lint lint-bench verify bench bench-smoke obs-smoke chaos-smoke
 
 build:
 	go build ./...
@@ -23,6 +23,24 @@ race:
 
 lint:
 	go run ./cmd/spcdlint ./...
+
+# Times a full-module spcdlint run (build excluded) and fails when it
+# exceeds LINT_BUDGET seconds. The interprocedural rules type-check the
+# whole module and build the call graph on every run; this target is the
+# regression tripwire that keeps the linter cheap enough for pre-commit use.
+LINT_BUDGET ?= 30
+
+lint-bench:
+	go build -o /tmp/spcdlint-bench ./cmd/spcdlint
+	@start=$$(date +%s%N); \
+	/tmp/spcdlint-bench ./... ; status=$$?; \
+	if [ $$status -ne 0 ]; then exit $$status; fi; \
+	end=$$(date +%s%N); \
+	elapsed_ms=$$(( (end - start) / 1000000 )); \
+	echo "spcdlint full-module run: $${elapsed_ms} ms (budget $(LINT_BUDGET)s)"; \
+	if [ $$elapsed_ms -gt $$(( $(LINT_BUDGET) * 1000 )) ]; then \
+		echo "lint-bench: exceeded $(LINT_BUDGET)s budget" >&2; exit 1; \
+	fi
 
 verify:
 	./verify.sh

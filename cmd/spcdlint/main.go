@@ -1,21 +1,32 @@
 // Command spcdlint runs spcd's repo-native static analyzers (package
-// internal/analysis) over the module: determinism (no ambient randomness or
-// wall-clock in simulator packages), maporder (no order-sensitive map
-// iteration), foreach-retain (hashtab callback arguments must not escape),
-// lockcheck (no lock copies, no unpaired Lock), and errcheck-io (no
-// discarded write/flush/close errors in cmd/ tools).
+// internal/analysis) over the module. Per-package rules: determinism (no
+// ambient randomness or wall-clock in simulator packages), maporder (no
+// order-sensitive map iteration), foreach-retain (hashtab callback arguments
+// must not escape), lockcheck (no lock copies, no unpaired Lock),
+// errcheck-io (no discarded write/flush/close errors in cmd/ tools),
+// obs-virtualtime, sweep-parallel, and faultsite. Module-wide rules, built
+// on the interprocedural call graph: determinism-flow (no call path from a
+// simulation entry point to a wall clock, global rand, env read, or
+// map-ordered write), seed-provenance (every rand source seed must derive
+// from the run-seed chain), and vtime-units (cycles-named and
+// nanosecond-named values may not mix without an explicit conversion).
 //
 // Usage:
 //
-//	spcdlint ./...              # whole module (the default)
-//	spcdlint ./internal/core    # one package
-//	spcdlint -json ./...        # machine-readable findings
-//	spcdlint -rule maporder ./... # a single rule
-//	spcdlint -rules             # list rules and exit
+//	spcdlint ./...                 # whole module (the default)
+//	spcdlint ./internal/core       # findings scoped to one package
+//	spcdlint -json ./...           # machine-readable findings
+//	spcdlint -sarif out.sarif ./...# also write SARIF 2.1.0 for code scanning
+//	spcdlint -rule maporder ./...  # a single rule (package or module rule)
+//	spcdlint -rules                # list rules and exit
+//	spcdlint -graph                # dump the interprocedural call graph
+//	spcdlint -ignores              # audit //lint:ignore directives
 //
 // Findings are suppressed per line with `//lint:ignore <rule> <reason>`.
-// The exit status is 0 when clean, 1 when there are findings, 2 on usage or
-// load errors.
+// Module rules always analyze the whole module (an interprocedural chain can
+// cross any package boundary); package patterns only scope which findings
+// are shown. The exit status is 0 when clean, 1 when there are findings, 2
+// on usage or load errors.
 package main
 
 import (
@@ -31,27 +42,36 @@ import (
 
 func main() {
 	var (
-		jsonOut   = flag.Bool("json", false, "emit findings as JSON")
+		jsonOut   = flag.Bool("json", false, "emit findings (or -ignores audit) as JSON")
 		ruleName  = flag.String("rule", "", "run a single rule (default: all)")
 		listRules = flag.Bool("rules", false, "list the rules and exit")
+		graphOut  = flag.Bool("graph", false, "dump the interprocedural call graph and exit")
+		sarifPath = flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
+		auditIgn  = flag.Bool("ignores", false, "list every //lint:ignore directive with its live/stale status")
 	)
 	flag.Parse()
 
 	if *listRules {
 		for _, a := range analysis.All {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		for _, a := range analysis.AllModule {
+			fmt.Printf("%-18s %s (module-wide)\n", a.Name, a.Doc)
 		}
 		return
 	}
 
-	analyzers := analysis.All
+	analyzers, modAnalyzers := analysis.All, analysis.AllModule
 	if *ruleName != "" {
-		a := analysis.ByName(*ruleName)
-		if a == nil {
+		analyzers, modAnalyzers = nil, nil
+		if a := analysis.ByName(*ruleName); a != nil {
+			analyzers = []*analysis.Analyzer{a}
+		} else if m := analysis.ModuleByName(*ruleName); m != nil {
+			modAnalyzers = []*analysis.ModuleAnalyzer{m}
+		} else {
 			fmt.Fprintf(os.Stderr, "spcdlint: unknown rule %q (try -rules)\n", *ruleName)
 			os.Exit(2)
 		}
-		analyzers = []*analysis.Analyzer{a}
 	}
 
 	root, err := moduleRoot()
@@ -65,14 +85,45 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *graphOut {
+		mod, err := loader.BuildModule()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spcdlint:", err)
+			os.Exit(2)
+		}
+		mod.Graph.Dump(os.Stdout, mod)
+		return
+	}
+
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := run(loader, root, patterns, analyzers)
+	scope, err := matchDirs(loader, root, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spcdlint:", err)
 		os.Exit(2)
+	}
+
+	// Module rules reason across package boundaries, so analysis always
+	// covers the whole module; the patterns scope which findings surface.
+	diags, audit, err := loader.AnalyzeModule(analyzers, modAnalyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spcdlint:", err)
+		os.Exit(2)
+	}
+	diags = filterScope(diags, scope)
+
+	if *auditIgn {
+		reportIgnores(root, audit, *jsonOut)
+		return
+	}
+
+	if *sarifPath != "" {
+		if err := writeSARIF(*sarifPath, root, analyzers, modAnalyzers, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "spcdlint:", err)
+			os.Exit(2)
+		}
 	}
 
 	if *jsonOut {
@@ -87,11 +138,7 @@ func main() {
 		}
 	} else {
 		for _, d := range diags {
-			rel := d.File
-			if r, err := filepath.Rel(root, d.File); err == nil && !strings.HasPrefix(r, "..") {
-				rel = r
-			}
-			fmt.Printf("%s:%d:%d: %s [%s]\n", rel, d.Line, d.Col, d.Msg, d.Rule)
+			fmt.Printf("%s:%d:%d: %s [%s]\n", relPath(root, d.File), d.Line, d.Col, d.Msg, d.Rule)
 		}
 	}
 	if len(diags) > 0 {
@@ -102,38 +149,87 @@ func main() {
 	}
 }
 
-// run resolves the patterns against the module and analyzes each matched
-// package once.
-func run(loader *analysis.Loader, root string, patterns []string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+// matchDirs resolves the package patterns to the set of directories whose
+// findings should be shown. A nil map means everything.
+func matchDirs(loader *analysis.Loader, root string, patterns []string) (map[string]bool, error) {
 	dirs, err := loader.PackageDirs()
 	if err != nil {
 		return nil, err
 	}
-	seen := make(map[string]bool)
-	var all []analysis.Diagnostic
+	scope := make(map[string]bool)
+	all := false
 	for _, pattern := range patterns {
 		matched := false
 		for _, d := range dirs {
-			dir, importPath := d[0], d[1]
-			if !matchPattern(root, dir, pattern) || seen[importPath] {
-				if seen[importPath] {
-					matched = true
-				}
-				continue
+			if matchPattern(root, d[0], pattern) {
+				matched = true
+				scope[d[0]] = true
 			}
-			matched = true
-			seen[importPath] = true
-			diags, err := loader.AnalyzeDir(dir, importPath, analyzers)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", importPath, err)
-			}
-			all = append(all, diags...)
 		}
 		if !matched {
 			return nil, fmt.Errorf("pattern %q matched no packages", pattern)
 		}
+		p := filepath.ToSlash(strings.TrimPrefix(pattern, "./"))
+		if p == "..." {
+			all = true
+		}
 	}
-	return all, nil
+	if all {
+		return nil, nil
+	}
+	return scope, nil
+}
+
+// filterScope keeps the diagnostics whose file lives directly in a scoped
+// package directory. scope == nil keeps everything.
+func filterScope(diags []analysis.Diagnostic, scope map[string]bool) []analysis.Diagnostic {
+	if scope == nil {
+		return diags
+	}
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		if scope[filepath.Dir(d.File)] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// reportIgnores prints the suppression audit: every //lint:ignore directive
+// in the module with its rule, reason, and whether it still suppresses
+// anything. Stale directives are the ones the unusedignore meta-rule flags;
+// the audit shows them all in one place so cleanups need no grepping.
+func reportIgnores(root string, audit []analysis.IgnoreInfo, jsonOut bool) {
+	if jsonOut {
+		if audit == nil {
+			audit = []analysis.IgnoreInfo{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(audit); err != nil {
+			fmt.Fprintln(os.Stderr, "spcdlint:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	stale := 0
+	for _, ig := range audit {
+		status := fmt.Sprintf("live (%d suppressed)", ig.Suppressed)
+		if ig.Suppressed == 0 {
+			status = "STALE"
+			stale++
+		}
+		fmt.Printf("%s:%d: [%s] %s — %s\n", relPath(root, ig.File), ig.Line, ig.Rule, status, ig.Reason)
+	}
+	fmt.Printf("spcdlint: %d ignore directive(s), %d stale\n", len(audit), stale)
+}
+
+// relPath renders file relative to root when it lies inside it.
+func relPath(root, file string) string {
+	if r, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return file
 }
 
 // matchPattern reports whether the package in dir matches a ./path or

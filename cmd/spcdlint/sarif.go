@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+
+	"spcd/internal/analysis"
+)
+
+// SARIF 2.1.0 output, the subset GitHub code scanning consumes: one run, one
+// driver, rule metadata for every active rule, and one result per finding
+// with a physical location relative to the repository root.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF renders diags as a SARIF log at path. Meta-findings
+// (badignore, unusedignore) carry rule metadata too so uploads validate.
+func writeSARIF(path, root string, analyzers []*analysis.Analyzer, modAnalyzers []*analysis.ModuleAnalyzer, diags []analysis.Diagnostic) error {
+	var rules []sarifRule
+	seen := make(map[string]bool)
+	addRule := func(id, doc string) {
+		if !seen[id] {
+			seen[id] = true
+			rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+		}
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	for _, a := range modAnalyzers {
+		addRule(a.Name, a.Doc)
+	}
+	addRule("badignore", "malformed or unknown-rule //lint:ignore directive")
+	addRule("unusedignore", "//lint:ignore directive that suppresses nothing")
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		addRule(d.Rule, "")
+		results = append(results, sarifResult{
+			RuleID:  d.Rule,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       relPath(root, d.File),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "spcdlint",
+				InformationURI: "https://example.invalid/spcd/cmd/spcdlint",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(log)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

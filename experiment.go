@@ -139,6 +139,7 @@ func (e Experiment) Run() (*Results, error) {
 		FaultPlan:   e.Faults,
 	}
 	if e.Observe != nil {
+		//lint:ignore determinism-flow Observe is a user-supplied probe factory invoked once per run before simulation; probes record events, they do not steer them.
 		runner.Observe = func(c sweep.Config) *obs.Probe { return e.Observe(c.Policy, c.Rep) }
 	}
 	rs, err := runner.Run(configs)

@@ -77,6 +77,15 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
+// knownRule reports whether name is a rule that can appear in a
+// //lint:ignore directive: any per-package or module analyzer.
+func knownRule(name string) bool {
+	if ByName(name) != nil {
+		return true
+	}
+	return ModuleByName(name) != nil
+}
+
 // Pass carries one type-checked package through one analyzer.
 type Pass struct {
 	Fset  *token.FileSet
@@ -149,13 +158,27 @@ func (p *Pass) ImportedPkg(file *ast.File, id *ast.Ident) string {
 
 // ignoreDirective is one parsed //lint:ignore comment.
 type ignoreDirective struct {
-	rule string
-	line int // line the directive suppresses
-	used bool
-	pos  token.Pos
+	rule   string
+	reason string
+	file   string
+	line   int // line the directive suppresses
+	used   int // findings suppressed
+	pos    token.Pos
 }
 
 const ignorePrefix = "//lint:ignore"
+
+// IgnoreInfo describes one //lint:ignore directive for the `spcdlint
+// -ignores` audit: where it is, what it suppresses, and whether it is still
+// live (unused directives are additionally reported as unusedignore
+// findings, so they cannot merge; the audit makes the live ones reviewable).
+type IgnoreInfo struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Rule       string `json:"rule"`
+	Reason     string `json:"reason"`
+	Suppressed int    `json:"suppressed"` // findings this directive suppressed
+}
 
 // parseIgnores extracts the //lint:ignore directives of every file. A
 // directive suppresses findings of the named rule on its own source line and
@@ -171,8 +194,8 @@ func parseIgnores(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) [
 				}
 				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
 				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
 				if len(fields) < 2 {
-					pos := fset.Position(c.Pos())
 					*diags = append(*diags, Diagnostic{
 						Pos: pos, File: pos.Filename, Line: pos.Line, Col: pos.Column,
 						Rule: "badignore",
@@ -180,10 +203,20 @@ func parseIgnores(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) [
 					})
 					continue
 				}
+				if !knownRule(fields[0]) {
+					*diags = append(*diags, Diagnostic{
+						Pos: pos, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Rule: "badignore",
+						Msg:  fmt.Sprintf("//lint:ignore names unknown rule %q (try `spcdlint -rules`)", fields[0]),
+					})
+					continue
+				}
 				out = append(out, &ignoreDirective{
-					rule: fields[0],
-					line: fset.Position(c.Pos()).Line,
-					pos:  c.Pos(),
+					rule:   fields[0],
+					reason: strings.TrimSpace(strings.TrimPrefix(rest, fields[0])),
+					file:   pos.Filename,
+					line:   pos.Line,
+					pos:    c.Pos(),
 				})
 			}
 		}
@@ -191,11 +224,9 @@ func parseIgnores(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) [
 	return out
 }
 
-// RunAnalyzers executes the analyzers over pkg and returns the surviving
-// diagnostics sorted by position. Suppressed findings are dropped; an
-// //lint:ignore directive that suppresses nothing is reported as unused so
-// stale suppressions cannot linger.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+// runAnalyzersRaw executes the per-package analyzers over pkg and returns
+// the raw findings, before suppression.
+func runAnalyzersRaw(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var raw []Diagnostic
 	pass := &Pass{
 		Fset:  pkg.Fset,
@@ -209,14 +240,28 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		pass.rule = a.Name
 		a.Run(pass)
 	}
+	return raw
+}
 
+// ApplyIgnores filters raw findings through the //lint:ignore directives of
+// every file in pkgs and returns the surviving diagnostics sorted by
+// position, plus the directive audit. A directive that suppresses nothing is
+// reported as unusedignore — but only when its rule was actually among the
+// activeRules of this run, so linting a rule subset cannot false-flag the
+// other rules' directives as stale.
+func ApplyIgnores(pkgs []*Package, raw []Diagnostic, activeRules map[string]bool) ([]Diagnostic, []IgnoreInfo) {
 	var kept []Diagnostic
-	ignores := parseIgnores(pkg.Fset, pkg.Files, &kept)
+	var ignores []*ignoreDirective
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		fset = pkg.Fset
+		ignores = append(ignores, parseIgnores(pkg.Fset, pkg.Files, &kept)...)
+	}
 	for _, d := range raw {
 		suppressed := false
 		for _, ig := range ignores {
-			if ig.rule == d.Rule && (d.Line == ig.line || d.Line == ig.line+1) {
-				ig.used = true
+			if ig.rule == d.Rule && ig.file == d.File && (d.Line == ig.line || d.Line == ig.line+1) {
+				ig.used++
 				suppressed = true
 			}
 		}
@@ -224,15 +269,20 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			kept = append(kept, d)
 		}
 	}
+	var audit []IgnoreInfo
 	for _, ig := range ignores {
-		if !ig.used {
-			pos := pkg.Fset.Position(ig.pos)
+		if ig.used == 0 && activeRules[ig.rule] {
+			pos := fset.Position(ig.pos)
 			kept = append(kept, Diagnostic{
 				Pos: pos, File: pos.Filename, Line: pos.Line, Col: pos.Column,
 				Rule: "unusedignore",
 				Msg:  fmt.Sprintf("//lint:ignore %s suppresses no finding; remove it", ig.rule),
 			})
 		}
+		audit = append(audit, IgnoreInfo{
+			File: ig.file, Line: ig.line, Rule: ig.rule,
+			Reason: ig.reason, Suppressed: ig.used,
+		})
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		if kept[i].File != kept[j].File {
@@ -243,6 +293,34 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return kept[i].Col < kept[j].Col
 	})
+	sort.Slice(audit, func(i, j int) bool {
+		if audit[i].File != audit[j].File {
+			return audit[i].File < audit[j].File
+		}
+		return audit[i].Line < audit[j].Line
+	})
+	return kept, audit
+}
+
+// activeRuleSet builds the rule-name set of one run, for ApplyIgnores.
+func activeRuleSet(analyzers []*Analyzer, modAnalyzers []*ModuleAnalyzer) map[string]bool {
+	set := make(map[string]bool)
+	for _, a := range analyzers {
+		set[a.Name] = true
+	}
+	for _, a := range modAnalyzers {
+		set[a.Name] = true
+	}
+	return set
+}
+
+// RunAnalyzers executes the per-package analyzers over pkg and returns the
+// surviving diagnostics sorted by position. Suppressed findings are dropped;
+// an //lint:ignore directive that suppresses nothing is reported as unused
+// so stale suppressions cannot linger.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	raw := runAnalyzersRaw(pkg, analyzers)
+	kept, _ := ApplyIgnores([]*Package{pkg}, raw, activeRuleSet(analyzers, nil))
 	return kept
 }
 

@@ -206,7 +206,7 @@ func TestCleanTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := loader.AnalyzeModule(All)
+	diags, _, err := loader.AnalyzeModule(All, AllModule)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -209,20 +209,54 @@ func (l *Loader) AnalyzeDir(dir, importPath string, analyzers []*Analyzer) ([]Di
 	return RunAnalyzers(pkg, analyzers), nil
 }
 
-// AnalyzeModule runs the analyzers over every package of the module and
-// returns all diagnostics sorted by file position.
-func (l *Loader) AnalyzeModule(analyzers []*Analyzer) ([]Diagnostic, error) {
+// LoadAll loads every package of the module, sorted by import path, all
+// sharing this loader's FileSet and type-checked against each other so
+// objects are identical across package boundaries.
+func (l *Loader) LoadAll() ([]*Package, error) {
 	dirs, err := l.PackageDirs()
 	if err != nil {
 		return nil, err
 	}
-	var all []Diagnostic
+	pkgs := make([]*Package, 0, len(dirs))
 	for _, d := range dirs {
-		diags, err := l.AnalyzeDir(d[0], d[1], analyzers)
+		pkg, err := l.Load(d[0], d[1])
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", d[1], err)
 		}
-		all = append(all, diags...)
+		pkgs = append(pkgs, pkg)
 	}
-	return all, nil
+	return pkgs, nil
+}
+
+// AnalyzeModule loads the whole module, runs the per-package analyzers over
+// each package and the module analyzers over the module view, then applies
+// //lint:ignore suppression globally. It returns the surviving diagnostics
+// sorted by file position, plus the suppression audit for every directive
+// seen.
+func (l *Loader) AnalyzeModule(analyzers []*Analyzer, modAnalyzers []*ModuleAnalyzer) ([]Diagnostic, []IgnoreInfo, error) {
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		raw = append(raw, runAnalyzersRaw(pkg, analyzers)...)
+	}
+	if len(modAnalyzers) > 0 {
+		mod := NewModule(l.Root, pkgs)
+		raw = append(raw, RunModuleAnalyzers(mod, modAnalyzers)...)
+	}
+	diags, audit := ApplyIgnores(pkgs, raw, activeRuleSet(analyzers, modAnalyzers))
+	return diags, audit, nil
+}
+
+// BuildModule loads the whole module and assembles the Module view (call
+// graph included) without running any analyzers — the entry point for
+// `spcdlint -graph`.
+func (l *Loader) BuildModule() (*Module, error) {
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	return NewModule(l.Root, pkgs), nil
 }

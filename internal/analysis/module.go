@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// This file is the whole-module half of the framework. Per-package
+// analyzers (Analyzer) see one type-checked package at a time; module
+// analyzers (ModuleAnalyzer) see every package of the module at once,
+// sharing one token.FileSet and one importer so objects are identical
+// across package boundaries. On top of that shared view the Module carries
+// a call graph (callgraph.go) and a facts store, which is how a rule in one
+// package reasons about what code in another package will do at run time —
+// e.g. determinism-flow following a call chain from engine.Run into a
+// helper package that reads the wall clock.
+
+// ModuleAnalyzer is one whole-module rule. Unlike Analyzer it runs once,
+// over all packages together, and may traverse the call graph and consume
+// per-function facts exported by earlier rules.
+type ModuleAnalyzer struct {
+	// Name identifies the rule in diagnostics and //lint:ignore directives.
+	Name string
+	// Doc is a one-line description shown by `spcdlint -rules`.
+	Doc string
+	// Run inspects the module held by mp and reports findings via
+	// mp.Reportf.
+	Run func(mp *ModulePass)
+}
+
+// AllModule lists every module analyzer in the order they run.
+var AllModule = []*ModuleAnalyzer{
+	DeterminismFlow,
+	SeedProvenance,
+	VtimeUnits,
+}
+
+// ModuleByName returns the module analyzer with the given rule name, or nil.
+func ModuleByName(name string) *ModuleAnalyzer {
+	for _, a := range AllModule {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Module is the whole-module view handed to module analyzers: every loaded
+// package, the interprocedural call graph over them, and the facts store
+// rules use to publish per-function knowledge across rule boundaries.
+type Module struct {
+	// Root is the module root directory; diagnostics and call chains render
+	// file positions relative to it.
+	Root string
+	// Pkgs holds every package, sorted by import path.
+	Pkgs []*Package
+	// Fset is the FileSet shared by every package in Pkgs.
+	Fset *token.FileSet
+	// Graph is the interprocedural call graph (callgraph.go).
+	Graph *CallGraph
+	// Facts is the per-function facts store.
+	Facts *Facts
+}
+
+// NewModule assembles the module view over pkgs (which must share one
+// loader, hence one FileSet) and builds the call graph.
+func NewModule(root string, pkgs []*Package) *Module {
+	m := &Module{Root: root, Pkgs: pkgs, Facts: newFacts()}
+	if len(pkgs) > 0 {
+		m.Fset = pkgs[0].Fset
+	}
+	m.Graph = buildCallGraph(pkgs)
+	return m
+}
+
+// Rel renders pos as a root-relative file:line string, the compact form
+// used inside call-chain diagnostics.
+func (m *Module) Rel(pos token.Pos) string {
+	p := m.Fset.Position(pos)
+	file := p.Filename
+	if r, err := filepath.Rel(m.Root, file); err == nil && !strings.HasPrefix(r, "..") {
+		file = filepath.ToSlash(r)
+	}
+	return fmt.Sprintf("%s:%d", file, p.Line)
+}
+
+// Facts is the per-function facts store: module analyzers publish what they
+// learned about a function (its taint witnesses, that it derives seeds, the
+// unit its result carries) under a namespaced key, and later rules — or
+// later phases of the same rule — consume those facts across package
+// boundaries instead of re-deriving them.
+type Facts struct {
+	m map[*Node]map[string]any
+}
+
+func newFacts() *Facts { return &Facts{m: make(map[*Node]map[string]any)} }
+
+// Set publishes a fact about n under key (conventionally "rule.fact").
+func (f *Facts) Set(n *Node, key string, v any) {
+	facts := f.m[n]
+	if facts == nil {
+		facts = make(map[string]any)
+		f.m[n] = facts
+	}
+	facts[key] = v
+}
+
+// Get returns the fact published for n under key, or (nil, false).
+func (f *Facts) Get(n *Node, key string) (any, bool) {
+	v, ok := f.m[n][key]
+	return v, ok
+}
+
+// Bool returns a boolean fact, false when absent.
+func (f *Facts) Bool(n *Node, key string) bool {
+	v, ok := f.m[n][key]
+	b, isBool := v.(bool)
+	return ok && isBool && b
+}
+
+// ModulePass carries the module through one module analyzer.
+type ModulePass struct {
+	Mod *Module
+
+	rule  string
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Mod.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:  position,
+		File: position.Filename,
+		Line: position.Line,
+		Col:  position.Column,
+		Rule: p.rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunModuleAnalyzers executes the module analyzers over mod and returns the
+// raw findings, before suppression. Callers feed the result through
+// ApplyIgnores together with any per-package findings.
+func RunModuleAnalyzers(mod *Module, analyzers []*ModuleAnalyzer) []Diagnostic {
+	var raw []Diagnostic
+	pass := &ModulePass{Mod: mod, diags: &raw}
+	for _, a := range analyzers {
+		pass.rule = a.Name
+		a.Run(pass)
+	}
+	return raw
+}

@@ -1,0 +1,69 @@
+// Package cgtest exercises the call-graph builder: static calls, interface
+// dispatch resolved by class-hierarchy analysis, function values resolved
+// through local bindings, callback arguments, goroutine literals, and a
+// deliberately unresolvable dynamic call that must surface as conservative
+// taint rather than vanish. TestCallGraphBuilder asserts on the edges
+// directly; there are no // want comments here.
+package cgtest
+
+import "sort"
+
+// Animal is implemented by Dog and Cat below; Speak's dynamic dispatch must
+// edge to both implementations.
+type Animal interface{ Sound() string }
+
+type Dog struct{}
+
+func (Dog) Sound() string { return "woof" }
+
+type Cat struct{}
+
+func (*Cat) Sound() string { return "meow" }
+
+func Speak(a Animal) string { return a.Sound() }
+
+func named() int { return 1 }
+
+// UseFuncValue binds a declared function to a variable and calls it; the
+// one-level binding resolution must recover the edge to named.
+func UseFuncValue() int {
+	f := named
+	return f()
+}
+
+// mk launders a function value through a call result, which the one-level
+// resolution deliberately does not chase.
+func mk(flip bool) func(uint32) uint64 {
+	if flip {
+		return func(x uint32) uint64 { return uint64(x) }
+	}
+	return func(x uint32) uint64 { return uint64(x) * 2 }
+}
+
+// Laundered calls a function value arriving through a call result, which
+// the binding layer cannot name; the signature layer must conservatively
+// edge to every address-taken function of matching type (both literals in
+// mk).
+func Laundered() uint64 {
+	g := mk(true)
+	return g(7)
+}
+
+// CallOpaque's parameter is never bound anywhere in the module and its
+// signature matches no address-taken function, so the call must surface as
+// a Dynamic record — conservative taint, never silently dropped.
+func CallOpaque(f func(int8) int16) int16 {
+	return f(3)
+}
+
+// Spawn's goroutine body becomes its own node (Spawn$1) with a static edge
+// back to named.
+func Spawn() {
+	go func() { _ = named() }()
+}
+
+// Sorts hands a closure to an external callee; the callback heuristic must
+// edge Sorts to its own literal so taint cannot hide inside sort.Slice.
+func Sorts(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

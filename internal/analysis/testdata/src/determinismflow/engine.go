@@ -1,0 +1,67 @@
+// Package engine (testdata) exercises determinism-flow: the golden loader
+// registers it under spcd/internal/engine so Run is a simulation entry
+// point. Impure operations reachable from Run are reported at the sink with
+// the full call chain; impure code nothing reachable calls stays silent.
+package engine
+
+import (
+	"math/rand"
+	"time"
+
+	"spcd/internal/dfhelper"
+)
+
+// hooks carries a func field no composite literal in the module ever sets,
+// so calling it defeats every resolution layer.
+type hooks struct {
+	fire func(int8) int16
+}
+
+func Run() {
+	_ = helperClock()
+	_ = dfhelper.Jitter()
+	useMap(map[int]int{1: 1})
+	_ = seeded(7)
+	_ = launder(hooks{})
+	suppressed()
+}
+
+// helperClock is reachable from Run: the wall-clock read is reported here,
+// at the sink, with the entry-point chain.
+func helperClock() int64 {
+	return time.Now().UnixNano() // want "wall-clock read time.Now is reachable from simulation entry point engine.Run; call chain: engine.Run → engine.helperClock"
+}
+
+func useMap(m map[int]int) {
+	var out []int
+	for _, v := range m { // want "map-iteration-ordered write to an ordered sink \(append\) is reachable from simulation entry point engine.Run"
+		out = append(out, v)
+	}
+	_ = out
+}
+
+// seeded builds a private, seeded stream: constructors are pure, so this
+// must not fire even though it is reachable from Run.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// launder calls a func field that is never bound and whose int8→int16 shape
+// matches nothing address-taken: the site must surface as conservative
+// taint, not vanish.
+func launder(h hooks) int16 {
+	return h.fire(2) // want "unresolvable dynamic call \(conservative nondeterminism taint\) is reachable from simulation entry point engine.Run"
+}
+
+// suppressed shows a reachable impurity silenced with a reasoned directive.
+func suppressed() {
+	//lint:ignore determinism-flow testdata: demonstrates suppression of a reachable wall-clock read.
+	_ = time.Now()
+}
+
+// unreachableImpure is never called from an entry point, so its wall-clock
+// read must not be reported.
+func unreachableImpure() int64 { return time.Now().UnixNano() }
+
+var _ = unreachableImpure

@@ -1,0 +1,16 @@
+// Package dfhelper (testdata) is the cross-package half of the
+// determinism-flow golden test: it lives outside the entry-point package,
+// yet its global-rand draw is reported — at this sink — with a chain that
+// crosses the package boundary. This is exactly the laundering the
+// per-package determinism rule could not see.
+package dfhelper
+
+import "math/rand"
+
+func Jitter() int {
+	return jitter2()
+}
+
+func jitter2() int {
+	return rand.Int() // want "global rand.Int \(shared, scheduling-dependent stream\) is reachable from simulation entry point engine.Run; call chain: engine.Run → dfhelper.Jitter .* → dfhelper.jitter2"
+}

@@ -1,0 +1,10 @@
+// Package spdep (testdata) is the cross-package wrapper for the
+// seed-provenance golden test: Mix carries no "seed" in its own name, so
+// only the facts store — every return dataflows from the seed-named
+// parameter — lets call sites in other packages trust it.
+package spdep
+
+// Mix stretches a derived seed with an LCG step.
+func Mix(seedBase int64) int64 {
+	return seedBase*6364136223846793005 + 1442695040888963407
+}

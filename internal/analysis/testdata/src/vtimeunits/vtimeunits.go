@@ -1,0 +1,87 @@
+// Package vtest (testdata) exercises vtime-units: cycles-named and
+// nanosecond-named values may not meet in arithmetic, comparison,
+// assignment, argument passing, struct fields, returns, or obs metric
+// registrations without an explicit conversion call. Ratio names (nsPer...)
+// and multiplicative expressions are unitless and stay silent.
+package vtest
+
+import "spcd/internal/obs"
+
+type cfg struct {
+	TickCycles uint64
+}
+
+// NanosToCycles is a conversion helper: its name launders ns into cycles.
+func NanosToCycles(durNanos uint64) uint64 { return durNanos * 3 }
+
+func badAdd(durCycles, waitNanos uint64) uint64 {
+	return durCycles + waitNanos // want "expression mixes cycles and ns; convert explicitly"
+}
+
+func badCompare(deadlineCycles, timeoutNanos uint64) bool {
+	return deadlineCycles < timeoutNanos // want "expression mixes cycles and ns; convert explicitly"
+}
+
+func badAssign(tickNanos uint64) uint64 {
+	var deadlineCycles uint64
+	deadlineCycles = tickNanos // want "assigning a ns value to a cycles-named target without an explicit conversion call"
+	return deadlineCycles
+}
+
+func badDecl(spanCycles uint64) uint64 {
+	var windowNanos uint64 = spanCycles // want "declaring ns-named windowNanos from a cycles value without an explicit conversion call"
+	return windowNanos
+}
+
+func sleep(durCycles uint64) uint64 { return durCycles }
+
+func badArg(timeoutNanos uint64) uint64 {
+	return sleep(timeoutNanos) // want "argument carries ns but parameter \"durCycles\" of sleep declares cycles"
+}
+
+func badReturn(lenNanos uint64) uint64 {
+	return windowCycles(lenNanos)
+}
+
+func windowCycles(lenNanos uint64) uint64 {
+	return lenNanos // want "windowCycles declares cycles by name but returns a ns value without an explicit conversion call"
+}
+
+func badField(gapNanos uint64) cfg {
+	return cfg{TickCycles: gapNanos} // want "field TickCycles declares cycles but is set from a ns value without an explicit conversion call"
+}
+
+func badMetric(r *obs.Registry, stallNanos *uint64) {
+	r.CounterFunc("engine.stall_cycles", func() uint64 {
+		return *stallNanos // want "obs metric \"engine.stall_cycles\" declares cycles but its reader returns a ns value"
+	})
+}
+
+// goodConv converts explicitly; the conversion-call name carries the target
+// unit, so nothing fires.
+func goodConv(durNanos uint64) uint64 {
+	deadlineCycles := NanosToCycles(durNanos)
+	return deadlineCycles
+}
+
+// goodRatio multiplies by a conversion factor: "per" names are unitless and
+// multiplication erases units.
+func goodRatio(nsPerCycle float64, durCycles uint64) float64 {
+	return float64(durCycles) * nsPerCycle
+}
+
+// goodSameUnit keeps both sides in cycles.
+func goodSameUnit(aCycles, bCycles uint64) uint64 {
+	return aCycles + bCycles
+}
+
+// goodNeutral mixes a unit with an unadorned count, which carries no unit.
+func goodNeutral(durCycles uint64, n uint64) uint64 {
+	return durCycles + n
+}
+
+// goodInstructions must not be misread as nanoseconds: "Instructions" ends
+// in "ns" only by spelling accident.
+func goodInstructions(retiredInstructions, issuedInstructions uint64) uint64 {
+	return retiredInstructions + issuedInstructions
+}

@@ -523,6 +523,7 @@ func (p *SPCD) Tick(now uint64) []int {
 		return nil
 	}
 	if p.opts.OnMigrate != nil {
+		//lint:ignore determinism-flow OnMigrate is a user-supplied notification hook; it observes remaps after the decision is made and cannot alter policy state.
 		p.opts.OnMigrate(now, append([]int(nil), aff...), matrix)
 	}
 	if p.probe != nil {

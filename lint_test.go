@@ -21,7 +21,7 @@ func TestLint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := loader.AnalyzeModule(analysis.All)
+	diags, _, err := loader.AnalyzeModule(analysis.All, analysis.AllModule)
 	if err != nil {
 		t.Fatal(err)
 	}

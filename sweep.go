@@ -135,9 +135,11 @@ func (s Sweep) Run() (*SweepResults, error) {
 		FaultPlan:   s.Faults,
 	}
 	if s.Seeder != nil {
+		//lint:ignore determinism-flow Seeder is the user-supplied seed derivation itself; its output becomes the run seed, so determinism is definitional here.
 		runner.Seeder = func(c sweep.Config) int64 { return s.Seeder(c.Kernel, c.Policy, c.Rep) }
 	}
 	if s.Observe != nil {
+		//lint:ignore determinism-flow Observe is a user-supplied probe factory invoked once per run before simulation; probes record events, they do not steer them.
 		runner.Observe = func(c sweep.Config) *obs.Probe { return s.Observe(c.Kernel, c.Policy, c.Rep) }
 	}
 	if s.OnProgress != nil {
