@@ -10,7 +10,7 @@
 # verify.sh's BENCH=1 / OBS=1 blocks call these targets, so the recipe lives
 # in exactly one place.
 
-.PHONY: build test race lint lint-bench verify bench bench-smoke obs-smoke chaos-smoke
+.PHONY: build test race lint lint-bench verify bench bench-smoke obs-smoke chaos-smoke shard-smoke
 
 build:
 	go build ./...
@@ -48,7 +48,7 @@ verify:
 bench:
 	go test -run '^$$' -bench=. -benchmem -benchtime=100x \
 		./internal/vm ./internal/cache ./internal/engine
-	go run ./cmd/perfbench -parallel 1 -o BENCH_engine.json
+	go run ./cmd/perfbench -parallel 1 -shardaxis 0,4 -o BENCH_engine.json
 
 bench-smoke:
 	go test -run '^$$' -bench=. -benchmem -benchtime=1x ./...
@@ -68,3 +68,10 @@ obs-smoke:
 chaos-smoke:
 	go run ./cmd/chaossweep -bench CG -class small -threads 8 \
 		-policies os,spcd -intensities 0,0.5,1 -seed 42 -reps 2 -check
+
+# The epoch-sharded engine's byte-identity gate at full ClassSmall scale:
+# the complete kernel x policy grid must be identical at shards 1/2/4/8,
+# plus the chaos leg (canonical fault plan at shards 1 vs 4). The same
+# tests run at ClassTest inside ./verify.sh; this is the CI-scale tier.
+shard-smoke:
+	SWEEP_CLASS=small go test -run 'TestEngineSharding' -timeout 30m -v .

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -40,6 +41,7 @@ func main() {
 		seed        = flag.Int64("seed", 42, "master seed (feeds run seeds and the fault plans)")
 		reps        = flag.Int("reps", 2, "repetitions per (policy, intensity)")
 		parallel    = flag.Int("parallel", 0, "concurrent experiments (0 = GOMAXPROCS); the report is identical for every value")
+		shards      = flag.Int("shards", 0, "intra-run engine workers (0 = sequential engine; >=1 = epoch-sharded engine)")
 		csvPath     = flag.String("csv", "", "also write the curves as CSV to this path")
 		check       = flag.Bool("check", false, "build the report twice (parallelism 1 and 8) and fail unless byte-identical")
 	)
@@ -89,8 +91,9 @@ func main() {
 
 	g := grid{
 		machine: mach, workload: w, policies: pols, axis: axis,
-		seed: *seed, reps: *reps,
+		seed: *seed, reps: *reps, shards: *shards,
 	}
+	warnOversubscribed(*parallel, *shards)
 	if *check {
 		// Re-derive the full artifacts at two parallelism levels; any
 		// scheduling dependence anywhere in the fault or sweep layers shows
@@ -128,6 +131,7 @@ type grid struct {
 	axis     []float64
 	seed     int64
 	reps     int
+	shards   int // 0: sequential engine; >=1: epoch-sharded engine
 }
 
 // run executes the whole intensity × policy × rep grid at the given
@@ -146,6 +150,7 @@ func (g grid) run(parallelism int) (report, csv string) {
 		runner := sweep.Runner{
 			Machine:     g.machine,
 			Parallelism: parallelism,
+			Shards:      g.shards,
 			Seeder:      func(c sweep.Config) int64 { return g.seed + int64(c.Rep) + 1 },
 			FaultPlan:   &plan,
 		}
@@ -277,6 +282,24 @@ func emit(report, csv, csvPath string) {
 		fatal(fmt.Errorf("close %s: %w", csvPath, err))
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", csvPath)
+}
+
+// warnOversubscribed notes (without failing) when sweep-level parallelism
+// times intra-run sharding would oversubscribe the host; the report stays
+// byte-identical either way.
+func warnOversubscribed(parallel, shards int) {
+	if shards <= 0 {
+		return
+	}
+	workers := parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if total := workers * shards; total > runtime.GOMAXPROCS(0) {
+		fmt.Fprintf(os.Stderr, "chaossweep: warning: -parallel %d x -shards %d = %d goroutines exceeds GOMAXPROCS=%d; "+
+			"runs stay byte-identical but will contend for cores\n",
+			workers, shards, total, runtime.GOMAXPROCS(0))
+	}
 }
 
 func fatal(err error) {

@@ -159,7 +159,10 @@ func isEntryNode(n *Node) bool {
 	case "spcd":
 		return recv == nil && strings.HasPrefix(name, "Run")
 	case "spcd/internal/engine":
-		return name == "Run"
+		// runSharded and simulateCore are entry points in their own right
+		// (not just via Run) so the epoch-sharded worker bodies stay covered
+		// even if a refactor detaches them from the public dispatch.
+		return name == "Run" || name == "runSharded" || name == "simulateCore"
 	case "spcd/internal/sweep":
 		return recv != nil && name == "Run"
 	case "spcd/internal/policy", "spcd/internal/mapping", "spcd/internal/core":

@@ -24,24 +24,51 @@ import (
 //     between a mutex Lock/Unlock pair on the same receiver are treated as
 //     guarded.
 //
-// The rule resolves one level of indirection: `go worker()` is analyzed
-// through the same-package declaration of worker.
+// The rule follows same-package calls: `go worker()` is analyzed through
+// the declaration of worker, and helpers invoked from within a goroutine
+// body — the epoch-sharded engine's workers delegate all simulation to such
+// a helper — are analyzed transitively, each declaration once per package.
+// A helper that mutates only its own parameters and locals (the engine's
+// shard-worker contract) stays silent; a write to anything declared outside
+// it fires.
 var SweepParallel = &Analyzer{
 	Name: "sweep-parallel",
 	Doc:  "forbid shared rand sources and unsynchronized shared writes in goroutine bodies",
 	Run:  runSweepParallel,
 }
 
+// declSite pairs a same-package function declaration with the file holding
+// it, so import-sensitive checks resolve against the right file when a
+// goroutine spawned in one file runs a helper declared in another.
+type declSite struct {
+	fd   *ast.FuncDecl
+	file *ast.File
+}
+
 func runSweepParallel(pass *Pass) {
-	// Same-package function declarations, for resolving `go worker()`.
-	decls := make(map[types.Object]*ast.FuncDecl)
+	// Same-package function declarations, for resolving `go worker()` and
+	// helper calls made from inside goroutine bodies.
+	decls := make(map[types.Object]declSite)
 	for _, file := range pass.Files {
 		for _, d := range file.Decls {
 			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil {
 				if obj := pass.ObjectOf(fd.Name); obj != nil {
-					decls[obj] = fd
+					decls[obj] = declSite{fd, file}
 				}
 			}
+		}
+	}
+	// Each declaration is analyzed at most once per pass, both to terminate
+	// on recursion and to report a shared helper's violations once no matter
+	// how many goroutines reach it.
+	analyzed := make(map[*ast.FuncDecl]bool)
+	checkDecl := func(obj types.Object) {
+		if obj == nil {
+			return
+		}
+		if site := decls[obj]; site.fd != nil && site.fd.Body != nil && !analyzed[site.fd] {
+			analyzed[site.fd] = true
+			checkWorkerBody(pass, site.file, site.fd, site.fd.Body, decls, analyzed)
 		}
 	}
 	for _, file := range pass.Files {
@@ -53,13 +80,9 @@ func runSweepParallel(pass *Pass) {
 			}
 			switch fun := gs.Call.Fun.(type) {
 			case *ast.FuncLit:
-				checkWorkerBody(pass, f, fun, fun.Body)
+				checkWorkerBody(pass, f, fun, fun.Body, decls, analyzed)
 			case *ast.Ident:
-				if obj := pass.ObjectOf(fun); obj != nil {
-					if fd := decls[obj]; fd != nil && fd.Body != nil {
-						checkWorkerBody(pass, f, fd, fd.Body)
-					}
-				}
+				checkDecl(pass.ObjectOf(fun))
 			}
 			return true
 		})
@@ -68,8 +91,10 @@ func runSweepParallel(pass *Pass) {
 
 // checkWorkerBody inspects one goroutine body. fn is the enclosing function
 // node (literal or declaration): objects declared within its extent —
-// parameters included — are goroutine-local.
-func checkWorkerBody(pass *Pass, file *ast.File, fn ast.Node, body *ast.BlockStmt) {
+// parameters included — are goroutine-local. Same-package helpers the body
+// calls are analyzed through their declarations (once per pass).
+func checkWorkerBody(pass *Pass, file *ast.File, fn ast.Node, body *ast.BlockStmt,
+	decls map[types.Object]declSite, analyzed map[*ast.FuncDecl]bool) {
 	local := func(obj types.Object) bool {
 		return obj == nil || (obj.Pos() >= fn.Pos() && obj.Pos() <= fn.End())
 	}
@@ -85,6 +110,16 @@ func checkWorkerBody(pass *Pass, file *ast.File, fn ast.Node, body *ast.BlockStm
 
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch v := n.(type) {
+		case *ast.CallExpr:
+			// Follow same-package helper calls: the shard-worker idiom runs
+			// `go func(...) { simulateCore(...) }` and all the interesting
+			// writes live in the helper.
+			if id, ok := v.Fun.(*ast.Ident); ok {
+				if site := decls[pass.ObjectOf(id)]; site.fd != nil && site.fd.Body != nil && !analyzed[site.fd] {
+					analyzed[site.fd] = true
+					checkWorkerBody(pass, site.file, site.fd, site.fd.Body, decls, analyzed)
+				}
+			}
 		case *ast.SelectorExpr:
 			id, ok := v.X.(*ast.Ident)
 			if !ok {

@@ -155,3 +155,35 @@ func channelSend(n int) {
 		}()
 	}
 }
+
+// The engine-shard shape: the goroutine body is a thin spawn wrapper and all
+// simulation happens in a same-package helper taking the worker's owned
+// state as parameters. The rule follows the call, so a helper leaking into
+// shared state fires even though the goroutine body itself is clean.
+
+var epochCount int
+
+// shardStep mutates only its parameters — the shard-worker contract.
+func shardStep(buf []int, idx int) {
+	buf[idx] = idx * 2 // ok: mutation through worker-owned parameter
+}
+
+// leakyStep also bumps a package-level counter: shared state, no guard.
+func leakyStep(buf []int, idx int) {
+	buf[idx] = idx
+	epochCount++ // want "unsynchronized write to epochCount"
+}
+
+func spawnShardWorkers(n int) {
+	bufs := make([][]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(buf []int, first int) {
+			defer wg.Done()
+			shardStep(buf, first)
+			leakyStep(buf, first)
+		}(bufs[i], i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,366 @@
+// Sharded execution support: a Shard is the worker-side view of the
+// hierarchy used by the engine's epoch-sharded mode (DESIGN.md §13). During
+// an epoch a worker simulates the accesses of the cores it owns against
+//
+//   - its cores' own L1/L2 arrays, mutated live (a core belongs to exactly
+//     one worker per epoch, so these writes race with nothing), and
+//   - the shared structures — directory and the per-socket L3s — read
+//     *frozen*: they are only ever mutated by the single-threaded merge
+//     step at the epoch barrier, so workers see a stable epoch-start image.
+//
+// Every effect an access has on shared or foreign-core state (directory
+// sharer/owner updates, invalidations of other cores' copies, L3 fills and
+// refreshes, private-eviction write-backs) is recorded as an Event instead
+// of applied. At the barrier, ApplyEvents replays the union of all workers'
+// events in canonical (virtual-time, thread, sequence) order against the
+// live hierarchy using the same helpers the sequential engine uses.
+//
+// The resulting coherence semantics are epoch-relaxed — cross-core effects
+// become visible at epoch boundaries rather than instantly — but they are a
+// pure function of the epoch schedule and the per-thread streams, never of
+// the worker count or core-to-worker assignment. That is the property the
+// sharded engine's byte-identity contract rests on.
+
+package cache
+
+import "sort"
+
+// EventKind discriminates the deferred shared-state effects of one access.
+type EventKind uint8
+
+const (
+	// EvUpgrade: a write hit in the requester's private cache. Merge
+	// invalidates every other sharer and records the writer as owner.
+	EvUpgrade EventKind = iota
+	// EvInvalOthers: a write that misses privately gains exclusivity.
+	// Merge invalidates every other sharer (ownership is recorded
+	// separately by the EvFillDir of the same access).
+	EvInvalOthers
+	// EvEvict: a line left the core's private caches for capacity reasons.
+	// Merge drops the core from the sharer set and writes dirty data back
+	// to the core's socket L3.
+	EvEvict
+	// EvRFO: a write found a dirty owner; merge invalidates the owner's
+	// private copies and drops its ownership.
+	EvRFO
+	// EvDowngrade: a read found a dirty owner; merge clears ownership and
+	// writes the dirty line back to the owner's socket L3.
+	EvDowngrade
+	// EvL3Refresh: the access hit the socket L3; merge refreshes (or, if
+	// the line was evicted by an earlier merge event, restores) it.
+	EvL3Refresh
+	// EvL3Fill: merge inserts the line into a socket L3 (back-invalidating
+	// inclusively on eviction, exactly like the sequential path).
+	EvL3Fill
+	// EvL3Inval: a write invalidated a remote socket's stale L3 copy.
+	EvL3Inval
+	// EvFillDir: the requester filled the line into its private caches;
+	// merge records it as a sharer (and owner, when the fill was a write).
+	EvFillDir
+)
+
+// Event is one deferred shared-state effect. VTime is the thread's cycle
+// clock at the start of the access that produced it; Seq is the per-thread
+// event sequence number. (VTime, Thread, Seq) is a total order that depends
+// only on the simulated schedule, never on worker count.
+type Event struct {
+	VTime  uint64
+	Seq    uint64
+	Line   uint64
+	Thread int32
+	Kind   EventKind
+	// Core is the requesting or owning core for private-cache kinds, and
+	// the socket index for the L3 kinds.
+	Core  int16
+	Dirty bool
+}
+
+// Shard is one worker's accumulation state: a private Stats delta, the
+// deferred event list, and the shared per-thread sequence counters (workers
+// touch disjoint indices — a thread runs on exactly one worker per epoch).
+type Shard struct {
+	h      *Hierarchy
+	stats  Stats
+	events []Event
+	seq    []uint64
+}
+
+// NewShard creates a worker view over h. seq must be the run-wide
+// per-thread sequence array, shared by all shards of the run.
+func (h *Hierarchy) NewShard(seq []uint64) *Shard {
+	return &Shard{h: h, seq: seq}
+}
+
+// peekEntry returns a copy of line's directory entry without allocating a
+// chunk: a never-touched line reads as the zero entry, which is exactly the
+// semantics entry() would create for it. Safe for concurrent readers while
+// the directory is quiescent (between merges).
+func (h *Hierarchy) peekEntry(line uint64) dirEntry {
+	c := line >> dirChunkBits
+	if c >= uint64(len(h.dir)) || h.dir[c] == nil {
+		return dirEntry{}
+	}
+	return h.dir[c][line&dirChunkMask]
+}
+
+// emit records a deferred effect of the current access.
+func (s *Shard) emit(vtime uint64, thread int, kind EventKind, core int, line uint64, dirty bool) {
+	s.events = append(s.events, Event{
+		VTime: vtime, Thread: int32(thread), Seq: s.seq[thread],
+		Kind: kind, Core: int16(core), Line: line, Dirty: dirty,
+	})
+	s.seq[thread]++
+}
+
+// fillPrivateLocal mirrors fillPrivate for the worker side: the core's own
+// arrays are updated live, the directory update and any out-of-core
+// spill become events.
+func (s *Shard) fillPrivateLocal(vtime uint64, thread, core int, line uint64, write bool) {
+	s.emit(vtime, thread, EvFillDir, core, line, write)
+	h := s.h
+	v1, d1, had1 := h.l1[core].insert(line, write)
+	if had1 && v1 != line {
+		v2, d2, had2 := h.l2[core].insert(v1, d1)
+		if had2 && v2 != v1 {
+			s.emit(vtime, thread, EvEvict, core, v2, d2)
+		}
+	}
+}
+
+// Access resolves one access on the worker side. Latencies and hit levels
+// are decided against the core's live private caches and the frozen
+// epoch-start image of the directory and L3s; all shared-state mutations
+// are deferred as events. vtime is the issuing thread's clock at the start
+// of the access.
+func (s *Shard) Access(ctx int, addr uint64, write bool, node int, vtime uint64, thread int) int {
+	h := s.h
+	m := h.mach
+	line := addr >> h.lineShift
+	core := m.CoreOf(ctx)
+	socket := m.SocketOf(ctx)
+	s.stats.Accesses++
+	if write {
+		s.stats.Writes++
+	}
+
+	// Private L1 hit against the live (worker-owned) array.
+	if h.l1[core].lookup(line) {
+		s.stats.L1Hits++
+		if write {
+			h.l1[core].markDirty(line)
+			s.emit(vtime, thread, EvUpgrade, core, line, true)
+		}
+		s.stats.StallCycles += uint64(m.Lat.L1)
+		return m.Lat.L1
+	}
+	s.stats.L1Misses++
+	if h.l2[core].lookup(line) {
+		s.stats.L2Hits++
+		dirty, _ := h.l2[core].invalidate(line)
+		if write {
+			s.emit(vtime, thread, EvUpgrade, core, line, true)
+			dirty = true
+		}
+		v1, d1, had1 := h.l1[core].insert(line, dirty)
+		if had1 && v1 != line {
+			v2, d2, had2 := h.l2[core].insert(v1, d1)
+			if had2 && v2 != v1 {
+				s.emit(vtime, thread, EvEvict, core, v2, d2)
+			}
+		}
+		s.stats.StallCycles += uint64(m.Lat.L2)
+		return m.Lat.L2
+	}
+	s.stats.L2Misses++
+
+	e := h.peekEntry(line)
+	miss := classify(&e, core)
+	switch miss {
+	case MissCold:
+		s.stats.ColdMisses++
+	case MissCapacity:
+		s.stats.CapacityMisses++
+	case MissInvalidation:
+		s.stats.InvalidationMisses++
+	}
+
+	// Dirty owner per the epoch-start directory: cache-to-cache transfer.
+	if ow := e.owner(); ow >= 0 && ow != core {
+		ownerSocket := ow / m.CoresPerSocket
+		cross := ownerSocket != socket
+		var cycles int
+		if cross {
+			s.stats.C2CCrossSocket++
+			cycles = m.Lat.C2CCrossSocket
+		} else {
+			s.stats.C2CSameSocket++
+			cycles = m.Lat.C2CSameSocket
+		}
+		if h.pairC2C != nil {
+			h.pairC2C[ctx][ow]++
+		}
+		if write {
+			s.emit(vtime, thread, EvRFO, ow, line, false)
+		} else {
+			s.emit(vtime, thread, EvDowngrade, ow, line, false)
+		}
+		s.emit(vtime, thread, EvL3Fill, socket, line, false)
+		s.fillPrivateLocal(vtime, thread, core, line, write)
+		s.stats.StallCycles += uint64(cycles)
+		return cycles
+	}
+
+	// Local socket L3, frozen image (probe does not disturb LRU).
+	if h.l3[socket].probe(line) {
+		s.stats.L3Hits++
+		if write {
+			s.emit(vtime, thread, EvInvalOthers, core, line, false)
+		}
+		s.emit(vtime, thread, EvL3Refresh, socket, line, false)
+		s.fillPrivateLocal(vtime, thread, core, line, write)
+		s.stats.StallCycles += uint64(m.Lat.L3)
+		return m.Lat.L3
+	}
+	s.stats.L3Misses++
+
+	// Remote socket L3s, frozen image.
+	for sk := 0; sk < m.Sockets; sk++ {
+		if sk == socket {
+			continue
+		}
+		if h.l3[sk].probe(line) {
+			s.stats.C2CCrossSocket++
+			if write {
+				s.emit(vtime, thread, EvInvalOthers, core, line, false)
+				s.emit(vtime, thread, EvL3Inval, sk, line, false)
+			}
+			s.emit(vtime, thread, EvL3Fill, socket, line, false)
+			s.fillPrivateLocal(vtime, thread, core, line, write)
+			s.stats.StallCycles += uint64(m.Lat.C2CCrossSocket)
+			return m.Lat.C2CCrossSocket
+		}
+	}
+
+	// DRAM on the homing node.
+	cross := node != socket
+	var cycles int
+	if cross {
+		s.stats.DRAMRemote++
+		cycles = m.Lat.DRAMRemote
+	} else {
+		s.stats.DRAMLocal++
+		cycles = m.Lat.DRAMLocal
+	}
+	if write {
+		s.emit(vtime, thread, EvInvalOthers, core, line, false)
+	}
+	s.emit(vtime, thread, EvL3Fill, socket, line, false)
+	s.fillPrivateLocal(vtime, thread, core, line, write)
+	s.stats.StallCycles += uint64(cycles)
+	return cycles
+}
+
+// DrainEvents returns the shard's accumulated events and resets the buffer,
+// keeping its capacity for the next epoch. The returned slice aliases the
+// buffer: the caller must copy (or fully consume) it before the shard's
+// worker runs again — the engine's barrier merge copies it into the epoch's
+// combined event list before releasing the workers.
+func (s *Shard) DrainEvents() []Event {
+	ev := s.events
+	s.events = s.events[:0]
+	return ev
+}
+
+// MergeStats folds the shard's counter delta into the hierarchy and zeroes
+// it. Invalidations are deliberately absent from deltas: they are counted
+// by ApplyEvents when copies are actually killed.
+func (s *Shard) MergeStats() {
+	h := &s.h.stats
+	d := &s.stats
+	h.Accesses += d.Accesses
+	h.Writes += d.Writes
+	h.L1Hits += d.L1Hits
+	h.L1Misses += d.L1Misses
+	h.L2Hits += d.L2Hits
+	h.L2Misses += d.L2Misses
+	h.L3Hits += d.L3Hits
+	h.L3Misses += d.L3Misses
+	h.C2CSameSocket += d.C2CSameSocket
+	h.C2CCrossSocket += d.C2CCrossSocket
+	h.DRAMLocal += d.DRAMLocal
+	h.DRAMRemote += d.DRAMRemote
+	h.ColdMisses += d.ColdMisses
+	h.CapacityMisses += d.CapacityMisses
+	h.InvalidationMisses += d.InvalidationMisses
+	h.StallCycles += d.StallCycles
+	*d = Stats{}
+}
+
+// SortEvents orders an epoch's merged event list canonically: by the
+// issuing access's virtual time, then thread id, then the thread's own
+// sequence number. The key is a total order (Thread, Seq) is unique), so
+// the result is independent of how events were interleaved across workers.
+func SortEvents(events []Event) {
+	sort.Slice(events, func(i, j int) bool {
+		a, b := &events[i], &events[j]
+		if a.VTime != b.VTime {
+			return a.VTime < b.VTime
+		}
+		if a.Thread != b.Thread {
+			return a.Thread < b.Thread
+		}
+		return a.Seq < b.Seq
+	})
+}
+
+// ApplyEvents replays a canonically sorted epoch event list against the
+// live hierarchy at the barrier, using the same state-transition helpers as
+// the sequential path. Invalidation counting happens here, against the
+// copies that actually existed at merge time.
+func (h *Hierarchy) ApplyEvents(events []Event) {
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case EvUpgrade:
+			e := h.entry(ev.Line)
+			h.invalidateOthers(e, int(ev.Core), ev.Line)
+			e.setOwner(int(ev.Core))
+		case EvInvalOthers:
+			e := h.entry(ev.Line)
+			h.invalidateOthers(e, int(ev.Core), ev.Line)
+		case EvEvict:
+			h.evictPrivate(int(ev.Core), ev.Line, ev.Dirty)
+		case EvRFO:
+			ownerCore := int(ev.Core)
+			h.l1[ownerCore].invalidate(ev.Line)
+			h.l2[ownerCore].invalidate(ev.Line)
+			h.dropCore(h.entry(ev.Line), ownerCore, true)
+			h.stats.Invalidations++
+		case EvDowngrade:
+			ownerCore := int(ev.Core)
+			h.entry(ev.Line).clearOwner()
+			h.fillL3(ownerCore/h.mach.CoresPerSocket, ev.Line, true)
+		case EvL3Refresh:
+			socket := int(ev.Core)
+			if !h.l3[socket].lookup(ev.Line) {
+				// The line was back-invalidated by an earlier merge event;
+				// restore it so the L3 ends the epoch holding what the
+				// worker-side decision assumed.
+				h.fillL3(socket, ev.Line, false)
+			}
+		case EvL3Fill:
+			h.fillL3(int(ev.Core), ev.Line, ev.Dirty)
+		case EvL3Inval:
+			h.l3[int(ev.Core)].invalidate(ev.Line)
+		case EvFillDir:
+			e := h.entry(ev.Line)
+			core := int(ev.Core)
+			e.sharers |= 1 << uint(core)
+			e.invalidated &^= 1 << uint(core)
+			e.evicted &^= 1 << uint(core)
+			if ev.Dirty {
+				e.setOwner(core)
+			}
+		}
+	}
+}

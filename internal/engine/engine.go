@@ -104,6 +104,16 @@ type Config struct {
 	// the hot loop pays one pointer comparison per slice and the simulated
 	// stream is byte-identical to a run without injection support.
 	Injector *faultinject.Injector
+	// Shards selects the execution engine. 0 (the default) runs the
+	// sequential engine — the exact code path every golden metric and
+	// zero-alloc gate pins. Values >= 1 run the epoch-sharded engine (see
+	// shard.go / DESIGN.md §13) with that many workers; its results are
+	// byte-identical for every worker count, but — deliberately and
+	// deterministically — not identical to the sequential engine's, because
+	// cross-core coherence effects land at epoch boundaries. Values above
+	// the machine's core count are clamped (extra workers would own no
+	// cores).
+	Shards int
 }
 
 // normalize fills in defaults and validates.
@@ -211,6 +221,9 @@ func (h *clockHeap) Pop() interface{} {
 func Run(cfg Config) (Metrics, error) {
 	if err := cfg.normalize(); err != nil {
 		return Metrics{}, err
+	}
+	if cfg.Shards > 0 {
+		return runSharded(cfg)
 	}
 	mach := cfg.Machine
 	n := cfg.Workload.NumThreads()

@@ -1,0 +1,124 @@
+package engine_test
+
+import (
+	"reflect"
+	"testing"
+
+	"spcd/internal/engine"
+	"spcd/internal/faultinject"
+	"spcd/internal/policy"
+	"spcd/internal/topology"
+	"spcd/internal/workloads"
+)
+
+// runShardedFor runs one sharded simulation under a freshly constructed
+// policy (policies are single-run objects).
+func runShardedFor(t *testing.T, w workloads.Workload, polName string, shards int, plan *faultinject.Plan) engine.Metrics {
+	t.Helper()
+	mach := topology.DefaultXeon()
+	pol, err := policy.Tuned(polName, w, mach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inj *faultinject.Injector
+	if plan != nil {
+		inj = faultinject.NewInjector(*plan, 7)
+	}
+	m, err := engine.Run(engine.Config{
+		Machine:  mach,
+		Workload: w,
+		Policy:   pol,
+		Seed:     7,
+		Shards:   shards,
+		Injector: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestShardedWorkerCountInvariance is the core byte-identity contract of
+// the epoch-sharded engine: the full Metrics struct (counters, energy,
+// detected communication matrix) must be identical at every worker count.
+func TestShardedWorkerCountInvariance(t *testing.T) {
+	for _, polName := range []string{"os", "spcd"} {
+		w, err := workloads.NewNPB("CG", 16, workloads.ClassTest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := runShardedFor(t, w, polName, 1, nil)
+		for _, shards := range []int{2, 3, 4, 8, 64} {
+			got := runShardedFor(t, w, polName, shards, nil)
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("%s: shards=%d metrics differ from shards=1:\n  1: %+v\n  %d: %+v",
+					polName, shards, base, shards, got)
+			}
+		}
+	}
+}
+
+// TestShardedWorkerCountInvarianceWithFaults extends the contract to chaos
+// runs: per-thread stall streams and barrier-ordered fault resolution must
+// keep injected runs worker-count-invariant too.
+func TestShardedWorkerCountInvarianceWithFaults(t *testing.T) {
+	plan := faultinject.CanonicalPlan(3)
+	w, err := workloads.NewNPB("CG", 16, workloads.ClassTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runShardedFor(t, w, "spcd", 1, &plan)
+	for _, shards := range []int{2, 4, 8} {
+		got := runShardedFor(t, w, "spcd", shards, &plan)
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("faulted: shards=%d metrics differ from shards=1:\n  1: %+v\n  %d: %+v",
+				shards, base, shards, got)
+		}
+	}
+}
+
+// TestShardedRunsToCompletion checks basic sanity of the sharded results:
+// all work retired, counters populated, nonzero execution time.
+func TestShardedRunsToCompletion(t *testing.T) {
+	w, err := workloads.NewNPB("SP", 8, workloads.ClassTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runShardedFor(t, w, "os", 4, nil)
+	wantAccesses := uint64(8) * w.AccessesPerThread()
+	if m.Cache.Accesses < wantAccesses {
+		t.Errorf("cache accesses = %d, want >= %d (parallel phase incomplete)",
+			m.Cache.Accesses, wantAccesses)
+	}
+	if m.ExecCycles == 0 || m.Instructions == 0 {
+		t.Errorf("empty run: cycles=%d instructions=%d", m.ExecCycles, m.Instructions)
+	}
+	if m.VM.Accesses == 0 || m.VM.FirstTouchFaults == 0 {
+		t.Errorf("vm counters empty: %+v", m.VM)
+	}
+}
+
+// TestShardedDefaultIsSequential pins the dispatch contract: Shards=0 runs
+// the sequential engine, bit-for-bit (same Metrics as an explicit
+// sequential run of the same config).
+func TestShardedDefaultIsSequential(t *testing.T) {
+	w, err := workloads.NewNPB("CG", 8, workloads.ClassTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := topology.DefaultXeon()
+	runWith := func(shards int) engine.Metrics {
+		pol, err := policy.Tuned("spcd", w, mach)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := engine.Run(engine.Config{Machine: mach, Workload: w, Policy: pol, Seed: 11, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if !reflect.DeepEqual(runWith(0), runWith(0)) {
+		t.Fatal("sequential engine not deterministic")
+	}
+}

@@ -233,9 +233,10 @@ type SiteCount struct {
 // use — like the engine it serves, one injector belongs to one
 // single-threaded simulation. The nil injector is a no-op.
 type Injector struct {
-	plan   Plan
-	rngs   []*rand.Rand
-	counts []uint64
+	plan    Plan
+	runSeed int64
+	rngs    []*rand.Rand
+	counts  []uint64
 	// stallCycles totals the injected stall burst lengths (the count of
 	// bursts lives in counts[SiteEngineThreadStall]).
 	stallCycles uint64
@@ -249,9 +250,10 @@ func NewInjector(plan Plan, runSeed int64) *Injector {
 		return nil
 	}
 	in := &Injector{
-		plan:   plan,
-		rngs:   make([]*rand.Rand, len(Sites)),
-		counts: make([]uint64, len(Sites)),
+		plan:    plan,
+		runSeed: runSeed,
+		rngs:    make([]*rand.Rand, len(Sites)),
+		counts:  make([]uint64, len(Sites)),
 	}
 	for i, s := range Sites {
 		in.rngs[i] = rand.New(rand.NewSource(siteSeed(plan.Seed, runSeed, s)))

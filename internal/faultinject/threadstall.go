@@ -1,0 +1,100 @@
+// Per-thread stall streams for the engine's epoch-sharded mode (DESIGN.md
+// §13). The sequential engine draws SiteEngineThreadStall decisions from
+// one per-site stream in scheduling order; sharded workers cannot share
+// that stream without making the draw order depend on the worker count.
+// Instead each simulated thread gets its own stall stream, seeded purely by
+// (plan seed, run seed, site, thread) — positional, like every other
+// injector stream — and workers draw from the streams of the threads they
+// own. Tallies accumulate per thread and fold into the injector's site
+// counters at the epoch barrier, so reports and observability columns see
+// one coherent tally regardless of how threads were partitioned.
+
+package faultinject
+
+import "math/rand"
+
+// ThreadStaller draws SiteEngineThreadStall decisions for one simulated
+// thread in the sharded engine. The nil staller never stalls.
+type ThreadStaller struct {
+	rate  float64
+	burst uint64
+	rng   *rand.Rand
+	// deltas since the last merge
+	count  uint64
+	cycles uint64
+}
+
+// ThreadStallers builds one positional stall stream per thread, or nil when
+// the injector is nil or the plan's stall site is disabled (so fault-free
+// and stall-free runs skip the draw entirely).
+func (in *Injector) ThreadStallers(n int) []*ThreadStaller {
+	if in == nil {
+		return nil
+	}
+	rate := in.plan.rate(SiteEngineThreadStall)
+	if rate <= 0 {
+		return nil
+	}
+	burst := in.plan.StallBurstCycles
+	if burst == 0 {
+		burst = 20_000
+	}
+	base := siteSeed(in.plan.Seed, in.runSeed, SiteEngineThreadStall)
+	out := make([]*ThreadStaller, n)
+	for t := 0; t < n; t++ {
+		out[t] = &ThreadStaller{
+			rate:  rate,
+			burst: burst,
+			rng:   rand.New(rand.NewSource(threadSeed(base, t))),
+		}
+	}
+	return out
+}
+
+// threadSeed folds a thread index into a site stream seed with the same
+// splitmix64 finalizer used by siteSeed, so per-thread streams are as well
+// separated as per-site streams.
+func threadSeed(base int64, thread int) int64 {
+	z := uint64(base) ^ (uint64(thread)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Draw makes one stall decision: 0 means the thread runs undisturbed,
+// otherwise the returned burst length is charged to the thread. Bursts vary
+// in [0.5, 1.5) × the plan's nominal length, like the sequential path.
+func (ts *ThreadStaller) Draw() uint64 {
+	if ts == nil {
+		return 0
+	}
+	if ts.rate < 1 && ts.rng.Float64() >= ts.rate {
+		return 0
+	}
+	burst := ts.burst/2 + uint64(ts.rng.Int63n(int64(ts.burst)))
+	ts.count++
+	ts.cycles += burst
+	return burst
+}
+
+// MergeThreadStalls folds the stallers' tallies since the previous merge
+// into the injector's SiteEngineThreadStall counter and stall-cycle total.
+// Called at epoch barriers while workers are quiescent; summation is
+// order-independent, so the tally never depends on the thread partition.
+func (in *Injector) MergeThreadStalls(stallers []*ThreadStaller) {
+	if in == nil {
+		return
+	}
+	i := siteIdx[SiteEngineThreadStall]
+	for _, ts := range stallers {
+		if ts == nil {
+			continue
+		}
+		in.counts[i] += ts.count
+		in.stallCycles += ts.cycles
+		ts.count, ts.cycles = 0, 0
+	}
+}

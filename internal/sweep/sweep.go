@@ -253,6 +253,14 @@ type Runner struct {
 	// as positional and worker-count-independent as the run seeds are. Nil
 	// (or an inactive plan) leaves every run on the exact fault-free paths.
 	FaultPlan *faultinject.Plan
+
+	// Shards selects each run's engine: 0 (the default) is the sequential
+	// engine; >= 1 runs every experiment on the epoch-sharded engine with
+	// that many intra-run workers (engine.Config.Shards). Sharded results
+	// are byte-identical for every value >= 1. Shards composes with
+	// Parallelism: total goroutines ≈ Parallelism × Shards, so callers
+	// should keep the product near GOMAXPROCS.
+	Shards int
 }
 
 // Run executes every config and returns the results in the order the
@@ -389,6 +397,7 @@ func (r *Runner) runOne(c Config) (res Result) {
 		Seed:     seed,
 		Probe:    res.Probe,
 		Injector: inj,
+		Shards:   r.Shards,
 	})
 	if r.Now != nil {
 		res.WallNanos = r.Now() - start

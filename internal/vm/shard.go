@@ -1,0 +1,68 @@
+// Sharded execution support: a Shard is the worker-side view of the MMU
+// used by the engine's epoch-sharded mode (DESIGN.md §13). During an epoch
+// a worker translates its threads' accesses against
+//
+//   - the per-context TLBs of the contexts it owns, mutated live (a context
+//     belongs to exactly one worker per epoch), and
+//   - the page table, read-only: pte slots and the leaf map are only ever
+//     mutated by the single-threaded merge step at the epoch barrier
+//     (demand paging, induced-fault restores, ClearPresent, migrations),
+//     so workers see a stable epoch-start image.
+//
+// Anything that would mutate the page table — a first-touch fault or an
+// induced fault on a present-cleared page — is *deferred*: Translate
+// returns ok=false, the engine suspends the thread, and the fault is
+// resolved at the barrier through the ordinary AddressSpace.Access path in
+// canonical (virtual-time, thread) order. Frame allocation order, fault
+// notification order and handler-chain side effects are therefore pure
+// functions of the simulated schedule, independent of the worker count.
+
+package vm
+
+// Shard is one worker's MMU view: a private Stats delta over the shared
+// AddressSpace.
+type Shard struct {
+	as    *AddressSpace
+	stats Stats
+}
+
+// NewShard creates a worker view over the address space.
+func (as *AddressSpace) NewShard() *Shard { return &Shard{as: as} }
+
+// Translate resolves a translation for context ctx on the worker side. On
+// a TLB hit or a plain page walk of a present page it behaves exactly like
+// Access (TLB fill included) and returns the MMU cycles charged. ok=false
+// means the access faults (never-touched page, or present bit cleared by
+// the sampler): nothing is counted or modified, and the engine must defer
+// the access to the barrier fault path.
+func (s *Shard) Translate(ctx int, addr uint64) (frame int64, node int, cycles int, ok bool) {
+	as := s.as
+	vpn := addr >> as.pageShift
+	t := &as.tlbs[ctx][vpn%tlbSize]
+	if t.valid && t.vpn == vpn && t.p.present {
+		s.stats.Accesses++
+		s.stats.TLBHits++
+		return t.p.frame, int(t.p.node), 0, true
+	}
+	entry := as.lookupPTE(vpn)
+	if entry == nil || !entry.present {
+		return 0, 0, 0, false
+	}
+	s.stats.Accesses++
+	s.stats.TLBMisses++
+	t.vpn = vpn
+	t.p = entry
+	t.valid = true
+	return entry.frame, int(entry.node), as.costs.TLBMiss, true
+}
+
+// MergeStats folds the shard's counter delta into the address space and
+// zeroes it. Called at the epoch barrier, when workers are quiescent.
+func (s *Shard) MergeStats() {
+	a := &s.as.stats
+	d := &s.stats
+	a.Accesses += d.Accesses
+	a.TLBHits += d.TLBHits
+	a.TLBMisses += d.TLBMisses
+	*d = Stats{}
+}
