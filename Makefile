@@ -10,7 +10,7 @@
 # verify.sh's BENCH=1 / OBS=1 blocks call these targets, so the recipe lives
 # in exactly one place.
 
-.PHONY: build test race lint lint-bench verify bench bench-smoke obs-smoke chaos-smoke shard-smoke
+.PHONY: build test race lint lint-bench verify bench bench-smoke obs-smoke chaos-smoke shard-smoke runtimeobs-smoke
 
 build:
 	go build ./...
@@ -68,6 +68,19 @@ obs-smoke:
 chaos-smoke:
 	go run ./cmd/chaossweep -bench CG -class small -threads 8 \
 		-policies os,spcd -intensities 0,0.5,1 -seed 42 -reps 2 -check
+
+# Host-side runtime observability end to end: a ClassSmall sharded run with
+# -runtimeobs, then -check re-reads runtime_trace.json / runtime_summary.json
+# and validates them (trace parses with >= 1 complete event; summary carries
+# finite barrier-stall / imbalance / merge-share diagnostics for the sharded
+# engine). RUNTIMEOBS_DIR overrides where the artifacts land (CI uploads).
+RUNTIMEOBS_DIR ?= .runtimeobs-smoke
+
+runtimeobs-smoke:
+	mkdir -p $(RUNTIMEOBS_DIR)
+	go run ./cmd/spcdobs -bench CG -class small -threads 8 \
+		-policies os,spcd -shards 4 -dir $(RUNTIMEOBS_DIR) \
+		-runtimeobs $(RUNTIMEOBS_DIR) -check
 
 # The epoch-sharded engine's byte-identity gate at full ClassSmall scale:
 # the complete kernel x policy grid must be identical at shards 1/2/4/8,

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spcd/internal/benchfmt"
+)
+
+func entry(t, build string, results ...benchfmt.Result) benchfmt.HistoryEntry {
+	var total float64
+	for _, r := range results {
+		total += r.AccessesPerSec
+	}
+	return benchfmt.HistoryEntry{
+		Time:  t,
+		Build: build,
+		File: benchfmt.File{
+			Class: "small", Threads: 32, Parallel: 1,
+			AccessesPerSec: total / float64(len(results)),
+			Results:        results,
+		},
+	}
+}
+
+func res(kernel, policy string, accPerSec float64) benchfmt.Result {
+	return benchfmt.Result{Kernel: kernel, Policy: policy, Class: "small",
+		SimAccesses: 1e6, AccessesPerSec: accPerSec}
+}
+
+// A >threshold slowdown in any configuration must be flagged as a
+// regression — this is the contract CI relies on for a nonzero exit.
+func TestCompareFlagsRegression(t *testing.T) {
+	a := entry("2026-01-01T00:00:00Z", "aaaa", res("CG", "os", 1000), res("CG", "spcd", 2000))
+	b := entry("2026-01-02T00:00:00Z", "bbbb", res("CG", "os", 1010), res("CG", "spcd", 1500)) // -25%
+
+	report, regressed := compare(a, b, 0.10)
+	if !regressed {
+		t.Fatalf("25%% slowdown at threshold 10%% not flagged as regression; report:\n%s", report)
+	}
+	if !strings.Contains(report, "<< regression") {
+		t.Errorf("report does not mark the regressed row:\n%s", report)
+	}
+	if strings.Count(report, "<< regression") != 1 {
+		t.Errorf("want exactly one regressed row (CG/spcd), report:\n%s", report)
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	a := entry("2026-01-01T00:00:00Z", "aaaa", res("CG", "os", 1000), res("CG", "spcd", 2000))
+	b := entry("2026-01-02T00:00:00Z", "bbbb", res("CG", "os", 950), res("CG", "spcd", 1900)) // -5%
+
+	report, regressed := compare(a, b, 0.10)
+	if regressed {
+		t.Fatalf("5%% slowdown at threshold 10%% wrongly flagged; report:\n%s", report)
+	}
+}
+
+// Configurations present in only one entry are reported but never counted
+// as regressions: a reshaped sweep is not a slowdown.
+func TestCompareShapeChangeIsNotRegression(t *testing.T) {
+	a := entry("2026-01-01T00:00:00Z", "aaaa", res("CG", "os", 1000), res("SP", "os", 1000))
+	b := entry("2026-01-02T00:00:00Z", "bbbb", res("CG", "os", 1000), res("FT", "os", 10))
+
+	report, regressed := compare(a, b, 0.10)
+	if regressed {
+		t.Fatalf("added/removed configs flagged as regression; report:\n%s", report)
+	}
+	if !strings.Contains(report, "(new)") || !strings.Contains(report, "(removed)") {
+		t.Errorf("report does not note the shape change:\n%s", report)
+	}
+}
+
+func TestPickNegativeIndices(t *testing.T) {
+	entries := []benchfmt.HistoryEntry{
+		entry("t0", "a", res("CG", "os", 1)),
+		entry("t1", "b", res("CG", "os", 2)),
+		entry("t2", "c", res("CG", "os", 3)),
+	}
+	for _, tc := range []struct {
+		idx  int
+		want string
+	}{{-1, "t2"}, {-2, "t1"}, {-3, "t0"}, {0, "t0"}, {2, "t2"}} {
+		e, err := pick(entries, tc.idx)
+		if err != nil {
+			t.Fatalf("pick(%d): %v", tc.idx, err)
+		}
+		if e.Time != tc.want {
+			t.Errorf("pick(%d) = %s, want %s", tc.idx, e.Time, tc.want)
+		}
+	}
+	for _, bad := range []int{3, -4} {
+		if _, err := pick(entries, bad); err == nil {
+			t.Errorf("pick(%d): want out-of-range error", bad)
+		}
+	}
+}
+
+// End-to-end through the history file: append two entries with a synthetic
+// regression, read them back, and confirm the comparison trips.
+func TestHistoryRoundTripRegression(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+	a := entry("2026-01-01T00:00:00Z", "aaaa", res("CG", "spcd", 2000))
+	b := entry("2026-01-02T00:00:00Z", "bbbb", res("CG", "spcd", 1000)) // -50%
+	for _, e := range []benchfmt.HistoryEntry{a, b} {
+		if err := benchfmt.AppendHistory(path, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := benchfmt.ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("read %d entries, want 2", len(entries))
+	}
+	ea, err := pick(entries, -2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := pick(entries, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, regressed := compare(ea, eb, 0.10); !regressed {
+		t.Fatal("50% slowdown through the history file not detected")
+	}
+}

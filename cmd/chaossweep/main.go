@@ -27,6 +27,8 @@ import (
 	"strings"
 
 	"spcd"
+	"spcd/internal/hostprof"
+	"spcd/internal/runtimeobs"
 	"spcd/internal/sweep"
 )
 
@@ -44,8 +46,16 @@ func main() {
 		shards      = flag.Int("shards", 0, "intra-run engine workers (0 = sequential engine; >=1 = epoch-sharded engine)")
 		csvPath     = flag.String("csv", "", "also write the curves as CSV to this path")
 		check       = flag.Bool("check", false, "build the report twice (parallelism 1 and 8) and fail unless byte-identical")
+
+		runtimeDir = flag.String("runtimeobs", "", "write host runtime-observability artifacts (runtime_trace.json, runtime_summary.json) to this directory")
 	)
+	prof := hostprof.RegisterFlags()
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
 
 	cls, err := spcd.ClassByName(*class)
 	if err != nil {
@@ -93,11 +103,15 @@ func main() {
 		machine: mach, workload: w, policies: pols, axis: axis,
 		seed: *seed, reps: *reps, shards: *shards,
 	}
+	if *runtimeDir != "" {
+		g.runtime = runtimeobs.New()
+	}
 	warnOversubscribed(*parallel, *shards)
 	if *check {
 		// Re-derive the full artifacts at two parallelism levels; any
 		// scheduling dependence anywhere in the fault or sweep layers shows
-		// up as a byte diff here.
+		// up as a byte diff here. (With -runtimeobs both legs land in the
+		// same collector — the host trace shows both, the report neither.)
 		rep1, csv1 := g.run(1)
 		rep8, csv8 := g.run(8)
 		if rep1 != rep8 || csv1 != csv8 {
@@ -105,10 +119,19 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "check ok: report byte-identical at parallelism 1 and 8")
 		emit(rep1, csv1, *csvPath)
-		return
+	} else {
+		rep, csv := g.run(*parallel)
+		emit(rep, csv, *csvPath)
 	}
-	rep, csv := g.run(*parallel)
-	emit(rep, csv, *csvPath)
+	if g.runtime != nil {
+		if err := runtimeobs.WriteArtifacts(*runtimeDir, g.runtime); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote runtime artifacts to %s\n", *runtimeDir)
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
 }
 
 // row is one (intensity, policy) point of the degradation curve, averaged
@@ -132,6 +155,10 @@ type grid struct {
 	seed     int64
 	reps     int
 	shards   int // 0: sequential engine; >=1: epoch-sharded engine
+
+	// runtime, when set, collects host wall-clock spans per intensity sweep.
+	// One-way: the report and CSV are identical with it on or off.
+	runtime *runtimeobs.Collector
 }
 
 // run executes the whole intensity × policy × rep grid at the given
@@ -151,6 +178,7 @@ func (g grid) run(parallelism int) (report, csv string) {
 			Machine:     g.machine,
 			Parallelism: parallelism,
 			Shards:      g.shards,
+			Runtime:     g.runtime,
 			Seeder:      func(c sweep.Config) int64 { return g.seed + int64(c.Rep) + 1 },
 			FaultPlan:   &plan,
 		}

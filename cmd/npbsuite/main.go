@@ -25,11 +25,11 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"runtime/debug"
-	"runtime/pprof"
 	"strings"
 
 	"spcd"
+	"spcd/internal/buildinfo"
+	"spcd/internal/hostprof"
 	"spcd/internal/report"
 )
 
@@ -62,6 +62,11 @@ type options struct {
 	seed     int64
 	parallel int
 	shards   int // 0: sequential engine; >=1: epoch-sharded engine
+
+	// runtime, when set, collects host wall-clock spans for the sweep pool
+	// and every run. One-way: table and CSV bytes are identical with it on
+	// or off.
+	runtime *spcd.RuntimeCollector
 }
 
 func main() {
@@ -77,47 +82,22 @@ func main() {
 		shards   = flag.Int("shards", 0, "intra-run engine workers (0 = sequential engine; >=1 = epoch-sharded engine, identical results for every value >= 1)")
 		csvPath  = flag.String("csv", "", "also write every table as CSV to this file")
 
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile after the sweep to this file")
+		runtimeDir = flag.String("runtimeobs", "", "write host runtime-observability artifacts (runtime_trace.json, runtime_summary.json) to this directory")
 	)
+	prof := hostprof.RegisterFlags()
 	flag.Parse()
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fatal(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			if err := f.Close(); err != nil {
-				fatal(fmt.Errorf("close %s: %w", *cpuprofile, err))
-			}
-		}()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
 	}
-	defer func() {
-		if *memprofile == "" {
-			return
-		}
-		f, err := os.Create(*memprofile)
-		if err != nil {
-			fatal(err)
-		}
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			_ = f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(fmt.Errorf("close %s: %w", *memprofile, err))
-		}
-	}()
 
 	o := options{
 		class: *class, reps: *reps, metric: *metric,
 		threads: *threads, seed: *seed, parallel: *parallel, shards: *shards,
+	}
+	if *runtimeDir != "" {
+		o.runtime = spcd.NewRuntimeCollector()
 	}
 	warnOversubscribed("npbsuite", o.parallel, o.shards)
 	if *kernels != "" {
@@ -150,6 +130,15 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+	if o.runtime != nil {
+		if err := spcd.WriteRuntimeArtifacts(*runtimeDir, o.runtime); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote runtime artifacts to %s\n", *runtimeDir)
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 }
 
@@ -192,6 +181,7 @@ func buildReport(o options, progress func(done, total int, key string, err error
 		MasterSeed:  o.seed,
 		Parallelism: o.parallel,
 		Shards:      o.shards,
+		Runtime:     o.runtime,
 		OnProgress:  progress,
 	}.Run()
 	if err != nil {
@@ -227,39 +217,8 @@ func runMetadata(mach *spcd.Machine, names, pols []string, class string, threads
 		fmt.Sprintf("# machine: %d sockets x %d cores x %d SMT @ %.1f GHz, %d B pages",
 			mach.Sockets, mach.CoresPerSocket, mach.ThreadsPerCore,
 			mach.ClockHz/1e9, mach.PageSize),
-		fmt.Sprintf("# build: %s  go: %s", buildDescribe(), runtime.Version()),
+		fmt.Sprintf("# build: %s  go: %s", buildinfo.Describe(), runtime.Version()),
 	}
-}
-
-// buildDescribe approximates `git describe` from the build info stamped
-// into the binary: the VCS revision (plus -dirty), or the module version
-// when no VCS info is available (e.g. `go test` binaries).
-func buildDescribe() string {
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "unknown"
-	}
-	var rev, modified string
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.modified":
-			if s.Value == "true" {
-				modified = "-dirty"
-			}
-		}
-	}
-	if rev == "" {
-		if v := bi.Main.Version; v != "" {
-			return v
-		}
-		return "unknown"
-	}
-	if len(rev) > 12 {
-		rev = rev[:12]
-	}
-	return rev + modified
 }
 
 // renderCSV writes the metadata header and every table as CSV to w. This is

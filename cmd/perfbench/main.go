@@ -32,56 +32,17 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"spcd"
+	"spcd/internal/benchfmt"
+	"spcd/internal/buildinfo"
+	"spcd/internal/hostprof"
+	"spcd/internal/runtimeobs"
 	"spcd/internal/sweep"
 )
-
-// Result is the measurement of one kernel x policy configuration.
-type Result struct {
-	Kernel         string  `json:"kernel"`
-	Policy         string  `json:"policy"`
-	Class          string  `json:"class"`
-	Threads        int     `json:"threads"`
-	Seed           int64   `json:"seed"`
-	Reps           int     `json:"reps"`
-	SimAccesses    uint64  `json:"sim_accesses"`
-	WallSeconds    float64 `json:"wall_seconds"` // best (minimum) over reps
-	AccessesPerSec float64 `json:"accesses_per_sec"`
-	NsPerAccess    float64 `json:"ns_per_access"`
-}
-
-// AxisPoint is the aggregate throughput of one shard count in a -shardaxis
-// run; the first point is the baseline the speedups are relative to.
-type AxisPoint struct {
-	Shards         int     `json:"shards"` // 0 = sequential engine
-	TotalSeconds   float64 `json:"total_wall_seconds"`
-	AccessesPerSec float64 `json:"aggregate_accesses_per_sec"`
-	NsPerAccess    float64 `json:"aggregate_ns_per_access"`
-	SpeedupVsFirst float64 `json:"speedup_vs_first"`
-}
-
-// File is the schema of BENCH_engine.json.
-type File struct {
-	Class          string   `json:"class"`
-	Threads        int      `json:"threads"`
-	Parallel       int      `json:"parallel"` // worker bound the sweep ran with
-	Shards         int      `json:"shards"`   // intra-run engine workers (0 = sequential engine)
-	GoVersion      string   `json:"go_version"`
-	NumCPU         int      `json:"num_cpu"` // cores the timing host exposed
-	TotalAccesses  uint64   `json:"total_sim_accesses"`
-	TotalSeconds   float64  `json:"total_wall_seconds"`
-	AccessesPerSec float64  `json:"aggregate_accesses_per_sec"`
-	NsPerAccess    float64  `json:"aggregate_ns_per_access"`
-	// ShardAxis records one aggregate per -shardaxis shard count (the
-	// per-configuration Results detail belongs to the first point).
-	ShardAxis []AxisPoint `json:"shard_axis,omitempty"`
-	Results   []Result    `json:"results"`
-}
 
 func main() {
 	var (
@@ -95,9 +56,10 @@ func main() {
 		shards     = flag.Int("shards", 0, "intra-run engine workers (0 = sequential engine; >=1 = epoch-sharded engine)")
 		shardaxis  = flag.String("shardaxis", "", "comma-separated shard counts to time in sequence (e.g. 0,4); overrides -shards, first entry is the baseline")
 		out        = flag.String("o", "BENCH_engine.json", "output JSON path (empty: stdout only)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile after the sweep to this file")
+		history    = flag.String("history", "", "append the record to this JSONL history (e.g. BENCH_history.jsonl) for cmd/benchdiff")
+		runtimeDir = flag.String("runtimeobs", "", "write host runtime-observability artifacts (runtime_trace.json, runtime_summary.json) to this directory")
 	)
+	prof := hostprof.RegisterFlags()
 	flag.Parse()
 
 	cls, err := spcd.ClassByName(*class)
@@ -114,20 +76,14 @@ func main() {
 	}
 	mach := spcd.DefaultMachine()
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fatal(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			if err := f.Close(); err != nil {
-				fatal(fmt.Errorf("close %s: %w", *cpuprofile, err))
-			}
-		}()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+
+	var rtc *runtimeobs.Collector
+	if *runtimeDir != "" {
+		rtc = runtimeobs.New()
 	}
 
 	workers := *parallel
@@ -158,20 +114,21 @@ func main() {
 		}
 	}
 
-	bench := File{Class: cls.Name, Threads: *threads, Parallel: workers, Shards: axis[0],
+	bench := benchfmt.File{Class: cls.Name, Threads: *threads, Parallel: workers, Shards: axis[0],
 		GoVersion: runtime.Version(), NumCPU: runtime.NumCPU()}
 
 	// timeSweep runs one full timing sweep at the given shard count. Every
 	// rep of a configuration runs the same seed on purpose: this tool times
 	// identical work and keeps the minimum, so repetition narrows the
 	// measurement, not the workload.
-	timeSweep := func(shardCount int) (results []Result, totalAcc uint64, totalSec float64) {
+	timeSweep := func(shardCount int) (results []benchfmt.Result, totalAcc uint64, totalSec float64) {
 		configs := sweep.Product("nas", names, cls, *threads, pols, *reps)
 		start := time.Now()
 		runner := sweep.Runner{
 			Machine:     mach,
 			Parallelism: *parallel,
 			Shards:      shardCount,
+			Runtime:     rtc,
 			Seeder:      func(sweep.Config) int64 { return *seed },
 			//lint:ignore determinism-flow Now feeds only Result.WallNanos, the informational wall-clock column that DESIGN.md excludes from the determinism contract.
 			Now: func() int64 { return int64(time.Since(start)) },
@@ -189,7 +146,7 @@ func main() {
 		for i := 0; i < len(rs); i += *reps {
 			group := rs[i : i+*reps]
 			c := group[0].Config
-			r := Result{Kernel: c.Kernel, Policy: c.Policy, Class: cls.Name,
+			r := benchfmt.Result{Kernel: c.Kernel, Policy: c.Policy, Class: cls.Name,
 				Threads: *threads, Seed: *seed, Reps: *reps}
 			best := group[0].WallNanos
 			for _, run := range group {
@@ -214,7 +171,7 @@ func main() {
 
 	for i, shardCount := range axis {
 		results, totalAcc, totalSec := timeSweep(shardCount)
-		point := AxisPoint{Shards: shardCount, TotalSeconds: totalSec}
+		point := benchfmt.AxisPoint{Shards: shardCount, TotalSeconds: totalSec}
 		if totalSec > 0 {
 			point.AccessesPerSec = float64(totalAcc) / totalSec
 			point.NsPerAccess = totalSec * 1e9 / float64(totalAcc)
@@ -253,19 +210,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
 
-	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
-		if err != nil {
+	if *history != "" {
+		entry := benchfmt.HistoryEntry{
+			Time:  time.Now().UTC().Format(time.RFC3339),
+			Build: buildinfo.Describe(),
+			File:  bench,
+		}
+		if err := benchfmt.AppendHistory(*history, entry); err != nil {
 			fatal(err)
 		}
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			_ = f.Close()
+		fmt.Fprintf(os.Stderr, "appended to %s\n", *history)
+	}
+
+	if rtc != nil {
+		if err := runtimeobs.WriteArtifacts(*runtimeDir, rtc); err != nil {
 			fatal(err)
 		}
-		if err := f.Close(); err != nil {
-			fatal(fmt.Errorf("close %s: %w", *memprofile, err))
-		}
+		fmt.Fprintf(os.Stderr, "wrote runtime artifacts to %s\n", *runtimeDir)
+	}
+
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 }
 

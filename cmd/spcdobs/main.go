@@ -33,7 +33,9 @@ import (
 	"strings"
 
 	"spcd"
+	"spcd/internal/hostprof"
 	"spcd/internal/obs"
+	"spcd/internal/runtimeobs"
 	"spcd/internal/sweep"
 )
 
@@ -50,7 +52,10 @@ func main() {
 		dir      = flag.String("dir", ".", "output directory for trace/timeseries files")
 		sample   = flag.Uint64("sample", 0, "snapshot interval in cycles (0 = ~256 rows per run)")
 		check    = flag.Bool("check", false, "re-read the written artifacts and validate them")
+
+		runtimeDir = flag.String("runtimeobs", "", "also write host runtime-observability artifacts (runtime_trace.json, runtime_summary.json) to this directory")
 	)
+	prof := hostprof.RegisterFlags()
 	flag.Parse()
 
 	cls, err := spcd.ClassByName(*class)
@@ -94,10 +99,19 @@ func main() {
 	}
 	sweepProbe := spcd.NewProbe(spcd.ObsOptions{})
 	warnOversubscribed(*parallel, *shards)
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	var rtc *runtimeobs.Collector
+	if *runtimeDir != "" {
+		rtc = runtimeobs.New()
+	}
 	runner := sweep.Runner{
 		Machine:     mach,
 		Parallelism: *parallel,
 		Shards:      *shards,
+		Runtime:     rtc,
 		Seeder:      func(sweep.Config) int64 { return *seed },
 		Observe:     func(c sweep.Config) *obs.Probe { return probeFor[c.Policy] },
 		Probe:       sweepProbe,
@@ -143,6 +157,38 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "checked %s\n", mergedPath)
+	}
+
+	if rtc != nil {
+		if err := runtimeobs.WriteArtifacts(*runtimeDir, rtc); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote runtime artifacts to %s\n", *runtimeDir)
+
+		// Combined trace: virtual-time runs and host-time lanes side by side
+		// in one file, each process in its own pid namespace. Virtual and
+		// host timestamps use different units (cycles vs microseconds), so
+		// the lanes are for structural comparison, not alignment.
+		combinedPath := filepath.Join(*runtimeDir, fmt.Sprintf("trace_%s_combined.json", w.Name()))
+		writeFile(combinedPath, func(f *os.File) error {
+			sink := obs.NewTraceSink()
+			basePid := obs.AppendTraceRuns(sink, merged, 0)
+			runtimeobs.AppendTrace(sink, rtc, basePid)
+			return sink.Flush(f)
+		})
+		if *check {
+			if err := runtimeobs.CheckArtifacts(*runtimeDir, *shards > 0); err != nil {
+				fatal(err)
+			}
+			if err := checkTrace(combinedPath); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "checked runtime artifacts in %s\n", *runtimeDir)
+		}
+	}
+
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -99,6 +99,11 @@ type Experiment struct {
 	// gets its own deterministic injector derived from the plan and the run
 	// seed). Nil or an inactive plan leaves the runs fault-free.
 	Faults *FaultPlan
+
+	// Runtime, when set, records host wall-clock spans for the pool and
+	// every run (see RuntimeCollector). Strictly one-way, so results are
+	// unchanged; nil disables at zero cost.
+	Runtime *RuntimeCollector
 }
 
 // WithFaults returns a copy of the experiment that runs every simulation
@@ -146,6 +151,7 @@ func (e Experiment) Run() (*Results, error) {
 		Seeder:      func(c sweep.Config) int64 { return e.BaseSeed + int64(c.Rep) + 1 },
 		FaultPlan:   e.Faults,
 		Shards:      e.Shards,
+		Runtime:     e.Runtime,
 	}
 	if e.Observe != nil {
 		//lint:ignore determinism-flow Observe is a user-supplied probe factory invoked once per run before simulation; probes record events, they do not steer them.

@@ -52,6 +52,12 @@ var impureOSFuncs = map[string]bool{
 
 // directImpurities scans one function body for impure operations.
 func directImpurities(mod *Module, n *Node) []impurity {
+	// internal/runtimeobs is the sanctioned host-time sink: it reads the
+	// wall clock by design, and the runtimeobs-isolation rule certifies
+	// that nothing it measures can flow back into simulation state.
+	if n.Pkg.Path == runtimeobsPkgPath {
+		return nil
+	}
 	var out []impurity
 	for _, x := range n.Ext {
 		switch x.PkgPath {

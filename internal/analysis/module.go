@@ -35,6 +35,7 @@ var AllModule = []*ModuleAnalyzer{
 	DeterminismFlow,
 	SeedProvenance,
 	VtimeUnits,
+	RuntimeobsIsolation,
 }
 
 // ModuleByName returns the module analyzer with the given rule name, or nil.

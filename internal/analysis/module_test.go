@@ -96,6 +96,23 @@ func TestVtimeUnitsGolden(t *testing.T) {
 	}, []*ModuleAnalyzer{VtimeUnits})
 }
 
+// The two runtimeobs-isolation halves load fake packages under the real
+// import paths, so they live in separate tests: one loader cannot register
+// two directories as "spcd/internal/runtimeobs".
+func TestRuntimeobsIsolationSinkPurityGolden(t *testing.T) {
+	runGoldenModule(t, [][2]string{
+		{"runtimeobsvm", "spcd/internal/vm"},
+		{"runtimeobssink", "spcd/internal/runtimeobs"},
+	}, []*ModuleAnalyzer{RuntimeobsIsolation})
+}
+
+func TestRuntimeobsIsolationReadbackGolden(t *testing.T) {
+	runGoldenModule(t, [][2]string{
+		{"runtimeobsapi", "spcd/internal/runtimeobs"},
+		{"runtimeobsengine", "spcd/internal/engine"},
+	}, []*ModuleAnalyzer{RuntimeobsIsolation})
+}
+
 // edgeTo reports whether n has an edge of the given kind to a node whose
 // name ends in suffix.
 func edgeTo(n *Node, suffix string, kind EdgeKind) bool {

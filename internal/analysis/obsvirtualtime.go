@@ -39,6 +39,13 @@ var wallClockFuncs = map[string]bool{
 }
 
 func runObsVirtualTime(pass *Pass) {
+	// internal/runtimeobs imports obs only to share the trace-sink encoder;
+	// it is the sanctioned host-time collector (wall-clock spans are its
+	// whole point) and the runtimeobs-isolation module rule certifies that
+	// none of what it measures flows back into simulation state.
+	if pass.Path == runtimeobsPkgPath {
+		return
+	}
 	inObs := pass.Path == obsPkgPath
 	for _, file := range pass.Files {
 		f := file

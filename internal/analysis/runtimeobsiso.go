@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RuntimeobsIsolation certifies that internal/runtimeobs is a pure host-time
+// sink: the one package sanctioned to read the wall clock (determinism-flow
+// and obs-virtualtime exempt it by path) in exchange for a machine-checked
+// one-way contract. Three things are enforced, module-wide:
+//
+//  1. no call path leads from runtimeobs into simulation state — the sink
+//     can observe the engine, never steer it;
+//  2. simulation packages calling into runtimeobs get only opaque
+//     runtimeobs-declared values back (a Stamp, a *Lane) — an API that
+//     returned a float64 of elapsed seconds would hand the simulation a
+//     wall-clock reading the byte-identity contract cannot survive;
+//  3. simulation packages never convert a runtimeobs-declared value to
+//     another type — `int64(stamp)` would launder host time into
+//     simulation-visible numbers one cast at a time.
+//
+// Together with the nil-probe zero-cost discipline this is the proof
+// obligation behind "results are byte-identical with observability on or
+// off": host time flows in, nothing flows out.
+var RuntimeobsIsolation = &ModuleAnalyzer{
+	Name: "runtimeobs-isolation",
+	Doc:  "runtimeobs is a one-way host-time sink: no calls into simulation state, no readable results, no laundering conversions",
+	Run:  runRuntimeobsIsolation,
+}
+
+// runtimeobsPkgPath is the sanctioned host-time sink package.
+const runtimeobsPkgPath = "spcd/internal/runtimeobs"
+
+// runtimeobsSimStatePkgs are the packages holding simulation state: a call
+// from runtimeobs into any of them is a one-way violation, and code inside
+// them may not read host-time data back out of runtimeobs.
+var runtimeobsSimStatePkgs = map[string]bool{
+	"spcd/internal/cache":       true,
+	"spcd/internal/commmatrix":  true,
+	"spcd/internal/core":        true,
+	"spcd/internal/energy":      true,
+	"spcd/internal/engine":      true,
+	"spcd/internal/faultinject": true,
+	"spcd/internal/hashtab":     true,
+	"spcd/internal/heatmap":     true,
+	"spcd/internal/mapping":     true,
+	"spcd/internal/matching":    true,
+	"spcd/internal/policy":      true,
+	"spcd/internal/sweep":       true,
+	"spcd/internal/topology":    true,
+	"spcd/internal/trace":       true,
+	"spcd/internal/vm":          true,
+	"spcd/internal/workloads":   true,
+}
+
+func runRuntimeobsIsolation(mp *ModulePass) {
+	mod := mp.Mod
+	checkSinkPurity(mp, mod)
+	for _, pkg := range mod.Pkgs {
+		if runtimeobsSimStatePkgs[pkg.Path] {
+			checkOpaqueResults(mp, pkg)
+			checkNoLaundering(mp, pkg)
+		}
+	}
+}
+
+// checkSinkPurity walks the call graph outward from every runtimeobs
+// function and reports the first edge of any path that enters a simulation
+// package. BFS keeps the reported chain shortest; findings deduplicate by
+// call site.
+func checkSinkPurity(mp *ModulePass, mod *Module) {
+	g := mod.Graph
+	reported := make(map[token.Pos]bool)
+	for _, entry := range g.Nodes {
+		if entry.Pkg.Path != runtimeobsPkgPath {
+			continue
+		}
+		parent := map[*Node]*Node{entry: nil}
+		queue := []*Node{entry}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, e := range n.Edges {
+				if runtimeobsSimStatePkgs[e.Callee.Pkg.Path] {
+					if !reported[e.Pos] {
+						reported[e.Pos] = true
+						chain := append(chainTo(parent, n), e.Callee)
+						mp.Reportf(e.Pos,
+							"runtimeobs must be a pure sink: call path reaches simulation state %s; call chain: %s",
+							e.Callee.Name, chainString(mod, chain))
+					}
+					continue
+				}
+				if _, seen := parent[e.Callee]; !seen {
+					parent[e.Callee] = n
+					queue = append(queue, e.Callee)
+				}
+			}
+		}
+	}
+}
+
+// checkOpaqueResults flags calls from simulation code into runtimeobs whose
+// results include a non-runtimeobs type: the only values allowed back across
+// the boundary are opaque handles (Stamp, *Lane, *Proc) that simulation code
+// can hold and pass back in, but never act on.
+func checkOpaqueResults(mp *ModulePass, pkg *Package) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(an ast.Node) bool {
+			call, ok := an.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(pkg, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != runtimeobsPkgPath {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			results := sig.Results()
+			for i := 0; i < results.Len(); i++ {
+				if !isRuntimeobsType(results.At(i).Type()) {
+					mp.Reportf(call.Pos(),
+						"simulation code reads host-time data back: runtimeobs.%s returns %s; only opaque runtimeobs types may cross the boundary",
+						fn.Name(), results.At(i).Type().String())
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkNoLaundering flags conversions of runtimeobs-declared values to
+// foreign types inside simulation code — the cast that would turn an opaque
+// Stamp into an int64 the engine could branch on.
+func checkNoLaundering(mp *ModulePass, pkg *Package) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(an ast.Node) bool {
+			call, ok := an.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			if tv, ok := pkg.Info.Types[call.Fun]; !ok || !tv.IsType() {
+				return true
+			}
+			src := pkg.Info.TypeOf(call.Args[0])
+			dst := pkg.Info.TypeOf(call.Fun)
+			if src == nil || dst == nil {
+				return true
+			}
+			if isRuntimeobsType(src) && !isRuntimeobsType(dst) {
+				mp.Reportf(call.Pos(),
+					"host-time laundering: conversion of %s to %s in simulation code; opaque runtimeobs values must stay opaque",
+					src.String(), dst.String())
+			}
+			return true
+		})
+	}
+}
+
+// isRuntimeobsType reports whether t is declared in the runtimeobs package
+// (through at most one pointer).
+func isRuntimeobsType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == runtimeobsPkgPath
+}

@@ -1,0 +1,24 @@
+// Package runtimeobs (testdata) is a fake of the host-time sink's API for
+// the read-back half of the runtimeobs-isolation golden test: opaque
+// handles (Stamp, *Lane) are fine to return, a float64 of elapsed seconds
+// is the leak the rule exists to catch.
+package runtimeobs
+
+// Stamp is the opaque host-time handle.
+type Stamp int64
+
+// Lane is an opaque span buffer.
+type Lane struct{ n int }
+
+// NewLane returns an opaque handle — allowed.
+func NewLane() *Lane { return &Lane{} }
+
+// Now returns an opaque stamp — allowed.
+func Now() Stamp { return 1 }
+
+// Elapsed returns host time as a plain float64 — the API shape simulation
+// code must never consume.
+func Elapsed() float64 { return 1.5 }
+
+// Span consumes stamps; no results, trivially allowed.
+func (l *Lane) Span(name string, start, end Stamp) { l.n++ }

@@ -1,0 +1,26 @@
+// Package engine (testdata) exercises the read-back and laundering halves
+// of runtimeobs-isolation: emitting stamps into the sink is fine; pulling
+// host time out as a number — by API result or by conversion — fires.
+package engine
+
+import "spcd/internal/runtimeobs"
+
+// Run is simulation code instrumented with the host-time sink.
+func Run() int {
+	lane := runtimeobs.NewLane() // opaque handle back: allowed
+	start := runtimeobs.Now()    // opaque stamp back: allowed
+	work := 0
+	for i := 0; i < 3; i++ {
+		work += i
+	}
+	lane.Span("simulate", start, runtimeobs.Now()) // emission only: allowed
+
+	secs := runtimeobs.Elapsed() // want "simulation code reads host-time data back: runtimeobs.Elapsed returns float64"
+	if secs > 1 {
+		work++
+	}
+
+	raw := int64(start) // want "host-time laundering: conversion of spcd/internal/runtimeobs.Stamp to int64"
+	_ = raw
+	return work
+}

@@ -1,0 +1,26 @@
+// Package runtimeobs (testdata) violates the pure-sink half of the
+// runtimeobs-isolation contract: a collector that reaches back into
+// simulation state, directly and through a helper.
+package runtimeobs
+
+import "spcd/internal/vm"
+
+// Collector is the fake host-time collector.
+type Collector struct{ spans int }
+
+// Record is observability code that steers the simulation — the direct
+// violation.
+func (c *Collector) Record() {
+	c.spans++
+	vm.Migrate() // want "runtimeobs must be a pure sink: call path reaches simulation state vm.Migrate"
+}
+
+// Flush reaches simulation state through a package-internal helper; the
+// BFS reports the edge where the path crosses into the simulation.
+func (c *Collector) Flush() {
+	sample(c)
+}
+
+func sample(c *Collector) {
+	c.spans = vm.Stats() // want "runtimeobs must be a pure sink: call path reaches simulation state vm.Stats"
+}

@@ -1,0 +1,14 @@
+// Package vm (testdata) stands in for simulation state in the
+// runtimeobs-isolation golden test: any call into it from the runtimeobs
+// fake is a one-way violation.
+package vm
+
+// Pages is mutable simulation state.
+var Pages int
+
+// Migrate mutates simulation state.
+func Migrate() { Pages++ }
+
+// Stats only reads state, but reading is already steering: the rule bans
+// the call path, not just writes.
+func Stats() int { return Pages }

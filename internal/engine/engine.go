@@ -25,6 +25,7 @@ import (
 	"spcd/internal/energy"
 	"spcd/internal/faultinject"
 	"spcd/internal/obs"
+	"spcd/internal/runtimeobs"
 	"spcd/internal/topology"
 	"spcd/internal/vm"
 	"spcd/internal/workloads"
@@ -114,6 +115,14 @@ type Config struct {
 	// the machine's core count are clamped (extra workers would own no
 	// cores).
 	Shards int
+	// Runtime, when non-nil, records host wall-clock spans for this run
+	// (see internal/runtimeobs): where the *host* spends time, as opposed
+	// to Probe's virtual-time view of the simulated machine. The contract
+	// is strictly one-way — the engine emits stamps into it and never reads
+	// host time back — so attaching a runtime proc cannot change results
+	// (the runtimeobs-isolation lint rule enforces this). nil disables it;
+	// the disabled path is nil-receiver no-ops outside the access loop.
+	Runtime *runtimeobs.Proc
 }
 
 // normalize fills in defaults and validates.
@@ -225,6 +234,12 @@ func Run(cfg Config) (Metrics, error) {
 	if cfg.Shards > 0 {
 		return runSharded(cfg)
 	}
+	// Host-time spans: the sequential engine records run-level phases only
+	// (init / simulate / finalize), keeping the golden-pinned access loop
+	// untouched. All stamps are taken outside the loop.
+	rt := cfg.Runtime
+	rtLane := rt.Lane("run")
+	tStart := rt.Now()
 	mach := cfg.Machine
 	n := cfg.Workload.NumThreads()
 
@@ -341,6 +356,8 @@ func Run(cfg Config) (Metrics, error) {
 			probe.Emit(clock, "engine", "init.done", -1, obs.Uint("cycles", clock))
 		}
 	}
+	tSim := rt.Now()
+	rtLane.SpanAt(runtimeobs.SpanInit, tStart, tSim, -1, -1)
 
 	for h.Len() > 0 {
 		th := h[0]
@@ -461,6 +478,8 @@ func Run(cfg Config) (Metrics, error) {
 	if probe != nil {
 		probe.Snapshot(execCycles)
 	}
+	tFin := rt.Now()
+	rtLane.SpanAt(runtimeobs.SpanSimulate, tSim, tFin, -1, -1)
 
 	m := Metrics{
 		Policy:          cfg.Policy.Name(),
@@ -491,6 +510,11 @@ func Run(cfg Config) (Metrics, error) {
 		m.DetectionOverheadPct = 100 * float64(ov.DetectionCycles+inducedCycles) / totalCPU
 		m.MappingOverheadPct = 100 * float64(ov.MappingCycles) / totalCPU
 	}
+	tEnd := rt.Now()
+	rtLane.SpanAt(runtimeobs.SpanFinalize, tFin, tEnd, -1, -1)
+	rtLane.SpanAt(runtimeobs.SpanRun, tStart, tEnd, -1, -1)
+	rt.SetMeta("kind", "engine")
+	rt.SetMeta("mode", "sequential")
 	return m, nil
 }
 

@@ -35,6 +35,7 @@ import (
 	"spcd/internal/energy"
 	"spcd/internal/faultinject"
 	"spcd/internal/obs"
+	"spcd/internal/runtimeobs"
 	"spcd/internal/vm"
 	"spcd/internal/workloads"
 )
@@ -61,12 +62,16 @@ type shardThread struct {
 }
 
 // engObsEvent is a worker-buffered engine trace event, emitted canonically
-// at the barrier.
+// at the barrier. shard records which worker simulated the event so Chrome
+// lanes can distinguish workers; it is a pure function of the thread's
+// core and the shard count (worker = core mod shards), so same-seed
+// same-shard-count traces stay byte-identical.
 type engObsEvent struct {
 	vtime  uint64
 	seq    uint64
 	arg    uint64
 	thread int32
+	shard  int32
 	kind   uint8
 }
 
@@ -78,6 +83,7 @@ const (
 // shardWorker is the per-worker state bundle: the cache and MMU shard
 // views plus this worker's accumulation buffers.
 type shardWorker struct {
+	id      int
 	cacheSh *cache.Shard
 	vmSh    *vm.Shard
 	instr   uint64
@@ -87,6 +93,14 @@ type shardWorker struct {
 // runSharded executes one simulation on the epoch-sharded engine with
 // cfg.Shards workers. cfg must be normalized.
 func runSharded(cfg Config) (Metrics, error) {
+	// Host-time spans (see internal/runtimeobs): per-worker per-epoch
+	// simulate and barrier-wait, per-epoch merge/faults/tick on the barrier
+	// lane, run-level init/finalize. Strictly one-way — stamps go in, no
+	// host time comes back — so results are byte-identical with rt nil or
+	// attached.
+	rt := cfg.Runtime
+	rtRun := rt.Lane("run")
+	tStart := rt.Now()
 	mach := cfg.Machine
 	n := cfg.Workload.NumThreads()
 
@@ -133,7 +147,7 @@ func runSharded(cfg Config) (Metrics, error) {
 	}
 	workers := make([]*shardWorker, w)
 	for i := range workers {
-		workers[i] = &shardWorker{cacheSh: caches.NewShard(seq), vmSh: as.NewShard()}
+		workers[i] = &shardWorker{id: i, cacheSh: caches.NewShard(seq), vmSh: as.NewShard()}
 	}
 
 	compute := uint64(cfg.Workload.ComputeCyclesPerAccess())
@@ -201,6 +215,22 @@ func runSharded(cfg Config) (Metrics, error) {
 		}
 	}
 
+	tLoop := rt.Now()
+	rtRun.SpanAt(runtimeobs.SpanInit, tStart, tLoop, -1, -1)
+	// Per-worker host lanes plus the single-threaded barrier lane. The
+	// slices are always allocated (w is small) so the disabled path stays
+	// branch-free; nil lanes make every SpanAt a no-op. Worker goroutines
+	// write only their own workerEnd/workerWorked slot, and the main
+	// goroutine reads them after wg.Wait's happens-before edge.
+	rtWorkers := make([]*runtimeobs.Lane, w)
+	for i := range rtWorkers {
+		rtWorkers[i] = rt.Lane(fmt.Sprintf("worker %d", i))
+	}
+	rtBarrier := rt.Lane("barrier")
+	workerEnd := make([]runtimeobs.Stamp, w)
+	workerWorked := make([]bool, w)
+	epochIdx := int64(-1)
+
 	epoch := cfg.TickIntervalCycles
 	epochEnd := epoch
 	coreThreads := make([][]*shardThread, numCores)
@@ -210,6 +240,7 @@ func runSharded(cfg Config) (Metrics, error) {
 
 	alive := n
 	for alive > 0 {
+		epochIdx++
 		// Skip empty epochs deterministically: if no live thread is below
 		// the boundary (long stall bursts, migration charges), jump to the
 		// first boundary above the minimum clock. Skipped tick boundaries
@@ -241,21 +272,41 @@ func runSharded(cfg Config) (Metrics, error) {
 		// assignment is irrelevant to results — every input a core's
 		// simulation reads is either owned by that core or frozen for the
 		// epoch (enforced by the sweep-parallel spcdlint rule).
+		tEpoch := rt.Now()
 		var wg sync.WaitGroup
 		for i := 0; i < w; i++ {
 			wg.Add(1)
 			go func(wk *shardWorker, first int) {
 				defer wg.Done()
+				worked := false
 				for core := first; core < numCores; core += w {
 					if len(coreThreads[core]) == 0 {
 						continue
 					}
+					worked = true
 					simulateCore(wk, coreThreads[core], epochEnd, run, affinity,
 						stallers, seq, compute, pageShift, pageMask, probe != nil)
 				}
+				end := rt.Now()
+				if worked {
+					rtWorkers[first].SpanAt(runtimeobs.SpanSimulate, tEpoch, end, epochIdx, -1)
+				}
+				workerEnd[first] = end
+				workerWorked[first] = worked
 			}(workers[i], i)
 		}
 		wg.Wait()
+		tBarrier := rt.Now()
+		if rt != nil {
+			// Barrier-wait: the gap between each working worker's finish and
+			// the barrier. Idle workers (no cores with live threads) are
+			// excluded so a thin epoch doesn't read as a stall.
+			for i := range rtWorkers {
+				if workerWorked[i] {
+					rtWorkers[i].SpanAt(runtimeobs.SpanBarrierWait, workerEnd[i], tBarrier, epochIdx, -1)
+				}
+			}
+		}
 
 		// Barrier merge, single-threaded from here on.
 		// 1. Cache coherence effects in canonical order.
@@ -297,12 +348,15 @@ func runSharded(cfg Config) (Metrics, error) {
 				switch ev.kind {
 				case obsEvStall:
 					probe.Emit(ev.vtime, "engine", "stall.injected", int(ev.thread),
-						obs.Uint("cycles", ev.arg))
+						obs.Uint("cycles", ev.arg), obs.Uint("shard", uint64(ev.shard)))
 				case obsEvDone:
-					probe.Emit(ev.vtime, "engine", "thread.done", int(ev.thread))
+					probe.Emit(ev.vtime, "engine", "thread.done", int(ev.thread),
+						obs.Uint("shard", uint64(ev.shard)))
 				}
 			}
 		}
+		tMerge := rt.Now()
+		rtBarrier.SpanAt(runtimeobs.SpanMerge, tBarrier, tMerge, epochIdx, -1)
 
 		// 4. Deferred page faults, in (virtual time, thread) order: the
 		// full MMU path runs here — frame allocation, present-bit restore,
@@ -333,6 +387,8 @@ func runSharded(cfg Config) (Metrics, error) {
 			th.bufPos++
 			th.pending = false
 		}
+		tFaults := rt.Now()
+		rtBarrier.SpanAt(runtimeobs.SpanFaults, tMerge, tFaults, epochIdx, int64(len(faulted)))
 
 		// 5. Policy ticks the epoch crossed, in boundary order — the same
 		// catch-up loop as the sequential engine, including migration
@@ -372,6 +428,7 @@ func runSharded(cfg Config) (Metrics, error) {
 			probe.Snapshot(nextSample)
 			nextSample += sampleInterval
 		}
+		rtBarrier.SpanAt(runtimeobs.SpanPolicyTick, tFaults, rt.Now(), epochIdx, -1)
 
 		alive = 0
 		for _, th := range threads {
@@ -388,6 +445,7 @@ func runSharded(cfg Config) (Metrics, error) {
 	if probe != nil {
 		probe.Snapshot(execCycles)
 	}
+	tDone := rt.Now()
 
 	m := Metrics{
 		Policy:          cfg.Policy.Name(),
@@ -415,6 +473,12 @@ func runSharded(cfg Config) (Metrics, error) {
 		m.DetectionOverheadPct = 100 * float64(ov.DetectionCycles+inducedCycles) / totalCPU
 		m.MappingOverheadPct = 100 * float64(ov.MappingCycles) / totalCPU
 	}
+	tEnd := rt.Now()
+	rtRun.SpanAt(runtimeobs.SpanFinalize, tDone, tEnd, -1, -1)
+	rtRun.SpanAt(runtimeobs.SpanRun, tStart, tEnd, -1, -1)
+	rt.SetMeta("kind", "engine")
+	rt.SetMeta("mode", "epoch-sharded")
+	rt.SetMetaInt("shards", int64(w))
 	return m, nil
 }
 
@@ -446,7 +510,7 @@ func simulateCore(wk *shardWorker, ths []*shardThread, epochEnd uint64,
 				if probeOn {
 					wk.obsBuf = append(wk.obsBuf, engObsEvent{
 						vtime: th.clock, seq: seq[th.id], thread: int32(th.id),
-						kind: obsEvStall, arg: burst})
+						shard: int32(wk.id), kind: obsEvStall, arg: burst})
 					seq[th.id]++
 				}
 				th.clock += burst
@@ -461,7 +525,7 @@ func simulateCore(wk *shardWorker, ths []*shardThread, epochEnd uint64,
 				if probeOn {
 					wk.obsBuf = append(wk.obsBuf, engObsEvent{
 						vtime: th.clock, seq: seq[th.id], thread: int32(th.id),
-						kind: obsEvDone})
+						shard: int32(wk.id), kind: obsEvDone})
 					seq[th.id]++
 				}
 				continue

@@ -29,6 +29,50 @@ func jstr(s string) string {
 	return string(b)
 }
 
+// JSONString renders s as a JSON string literal. Exported for the other
+// trace-emitting layers (internal/runtimeobs) so every exporter escapes
+// identically.
+func JSONString(s string) string { return jstr(s) }
+
+// FormatFloat renders v in the shortest-exact form every exporter uses, so
+// a value round-trips bit-for-bit and same-seed artifacts stay
+// byte-identical.
+func FormatFloat(v float64) string { return formatFloat(v) }
+
+// TraceSink accumulates Chrome trace_event lines into the repo's canonical
+// trace envelope: `{"displayTimeUnit":"ms","traceEvents":[` ... `]}` with
+// one event per line. It exists so the virtual-time exporters here and the
+// host-time exporter in internal/runtimeobs produce byte-compatible files
+// and can interleave into one merged trace. A sink is one-shot: Emit any
+// number of lines, then Flush exactly once.
+type TraceSink struct {
+	buf   bytes.Buffer
+	first bool
+}
+
+// NewTraceSink returns a sink primed with the trace envelope header.
+func NewTraceSink() *TraceSink {
+	s := &TraceSink{first: true}
+	s.buf.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
+	return s
+}
+
+// Emit appends one complete JSON event line.
+func (s *TraceSink) Emit(line string) {
+	if !s.first {
+		s.buf.WriteString(",\n")
+	}
+	s.first = false
+	s.buf.WriteString(line)
+}
+
+// Flush closes the envelope and writes the whole trace to w.
+func (s *TraceSink) Flush(w io.Writer) error {
+	s.buf.WriteString("\n]}\n")
+	_, err := w.Write(s.buf.Bytes())
+	return err
+}
+
 // appendArgs renders an ordered arg list as a JSON object.
 func appendArgs(buf *bytes.Buffer, args []Arg) {
 	buf.WriteByte('{')
@@ -62,20 +106,9 @@ func WriteChromeTrace(w io.Writer, p *Probe) error {
 		_, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[]}`+"\n")
 		return err
 	}
-	var buf bytes.Buffer
-	buf.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
-	first := true
-	emit := func(line string) {
-		if !first {
-			buf.WriteString(",\n")
-		}
-		first = false
-		buf.WriteString(line)
-	}
-	appendProbeTrace(emit, p, 0, "spcd simulator")
-	buf.WriteString("\n]}\n")
-	_, err := w.Write(buf.Bytes())
-	return err
+	sink := NewTraceSink()
+	appendProbeTrace(sink.Emit, p, 0, "spcd simulator")
+	return sink.Flush(w)
 }
 
 // TraceRun pairs one run's probe with a display label for merged export.
@@ -92,27 +125,25 @@ type TraceRun struct {
 // deterministic: runs render in slice order, each with the single-run
 // format of WriteChromeTrace.
 func WriteChromeTraceMerged(w io.Writer, runs []TraceRun) error {
-	var buf bytes.Buffer
-	buf.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
-	first := true
-	emit := func(line string) {
-		if !first {
-			buf.WriteString(",\n")
-		}
-		first = false
-		buf.WriteString(line)
-	}
-	for pid, run := range runs {
+	sink := NewTraceSink()
+	AppendTraceRuns(sink, runs, 0)
+	return sink.Flush(w)
+}
+
+// AppendTraceRuns emits the runs' probes into sink with pids starting at
+// basePid and returns the next free pid, so a caller can append further
+// process namespaces (host-time lanes, say) to the same trace.
+func AppendTraceRuns(sink *TraceSink, runs []TraceRun, basePid int) int {
+	for i, run := range runs {
+		pid := basePid + i
 		if run.Probe == nil {
-			emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":%s}}`,
+			sink.Emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":%s}}`,
 				pid, jstr(run.Name)))
 			continue
 		}
-		appendProbeTrace(emit, run.Probe, pid, run.Name)
+		appendProbeTrace(sink.Emit, run.Probe, pid, run.Name)
 	}
-	buf.WriteString("\n]}\n")
-	_, err := w.Write(buf.Bytes())
-	return err
+	return basePid + len(runs)
 }
 
 // appendProbeTrace emits one probe's lane metadata, instant events and

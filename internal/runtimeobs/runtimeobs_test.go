@@ -1,0 +1,206 @@
+package runtimeobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// almost compares floats to the tolerance the ns->seconds conversions
+// warrant.
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-12*math.Max(1, math.Abs(b)) }
+
+// TestNilCollectorIsFree pins the nil-probe contract: with runtime obs
+// detached, every emit call is a no-op costing zero allocations — the same
+// gate internal/obs runs on its hot path.
+func TestNilCollectorIsFree(t *testing.T) {
+	var c *Collector
+	allocs := testing.AllocsPerRun(1000, func() {
+		p := c.Proc("engine")
+		l := p.Lane("worker 0")
+		start := p.Now()
+		l.SpanAt(SpanSimulate, start, c.Now(), 3, -1)
+		p.SetMeta("kind", "engine")
+		p.SetMetaInt("shards", 4)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-collector emit path allocates %v times per op; want 0", allocs)
+	}
+	if c.Now() != 0 {
+		t.Fatalf("nil collector Now() = %d; want 0", c.Now())
+	}
+}
+
+// shardedFixture builds a collector whose engine proc has hand-placed
+// stamps, so the summary math is checked against exact expectations
+// (SpanAt takes explicit stamps precisely to make this deterministic).
+//
+// Timeline (ns): two workers, one epoch. Worker 0 simulates 0-100, worker
+// 1 simulates 0-50 then waits 50-100; the barrier merges 100-120, resolves
+// faults 120-125, ticks 125-130; the run span covers 0-200.
+func shardedFixture() *Collector {
+	c := New()
+	p := c.Proc("run CG")
+	p.SetMeta("kind", "engine")
+	p.SetMeta("mode", "epoch-sharded")
+	p.SetMetaInt("shards", 2)
+	run := p.Lane("run")
+	w0 := p.Lane("worker 0")
+	w1 := p.Lane("worker 1")
+	bar := p.Lane("barrier")
+	w0.SpanAt(SpanSimulate, 0, 100, 0, -1)
+	w1.SpanAt(SpanSimulate, 0, 50, 0, -1)
+	w1.SpanAt(SpanBarrierWait, 50, 100, 0, -1)
+	bar.SpanAt(SpanMerge, 100, 120, 0, -1)
+	bar.SpanAt(SpanFaults, 120, 125, 0, 2)
+	bar.SpanAt(SpanPolicyTick, 125, 130, 0, -1)
+	run.SpanAt(SpanRun, 0, 200, -1, -1)
+	return c
+}
+
+func TestEngineSummaryMath(t *testing.T) {
+	s := Summarize(shardedFixture())
+	if len(s.Procs) != 1 || s.Procs[0].Engine == nil {
+		t.Fatalf("want one engine proc, got %+v", s.Procs)
+	}
+	e := s.Procs[0].Engine
+	ns := func(v float64) float64 { return v * 1e9 } // expectations are in ns
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"simulate", ns(e.SimulateSeconds), 150},
+		{"barrier_wait", ns(e.BarrierWaitSeconds), 50},
+		{"merge", ns(e.MergeSeconds), 20},
+		{"fault", ns(e.FaultSeconds), 5},
+		{"tick", ns(e.TickSeconds), 5},
+		{"barrier_stall_fraction", e.BarrierStallFraction, 50.0 / 200.0},
+		{"load_imbalance_ratio", e.LoadImbalanceRatio, 100.0 / 75.0},
+		{"merge_share", e.MergeShare, 20.0 / 200.0},
+	}
+	for _, c := range checks {
+		if !almost(c.got, c.want) {
+			t.Errorf("%s = %v; want %v", c.name, c.got, c.want)
+		}
+	}
+	if e.Epochs != 1 || e.Shards != 2 || e.Mode != "epoch-sharded" {
+		t.Errorf("epochs/shards/mode = %d/%d/%q; want 1/2/epoch-sharded", e.Epochs, e.Shards, e.Mode)
+	}
+	cp := e.CriticalPath
+	if cp == nil {
+		t.Fatal("sharded summary lacks critical path")
+	}
+	cpChecks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"ideal_parallel", ns(cp.IdealParallelSeconds), 75},
+		{"imbalance", ns(cp.ImbalanceSeconds), 25},
+		{"serial_merge", ns(cp.SerialMergeSeconds), 30},
+		{"other", ns(cp.OtherSeconds), 70},
+		{"sequential_estimate", ns(cp.SequentialEstimateSeconds), 180},
+		{"estimated_speedup", cp.EstimatedSpeedup, 180.0 / 200.0},
+	}
+	for _, c := range cpChecks {
+		if !almost(c.got, c.want) {
+			t.Errorf("critical path %s = %v; want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestSweepSummaryMath(t *testing.T) {
+	c := New()
+	p := c.Proc("sweep")
+	p.SetMeta("kind", "sweep")
+	p.SetMetaInt("workers", 2)
+	pool := p.Lane("sweep")
+	w0 := p.Lane("worker 0")
+	w1 := p.Lane("worker 1")
+	w0.SpanAt(SpanExperiment, 0, 60, -1, 0)
+	w1.SpanAt(SpanExperiment, 10, 50, -1, 1)
+	w0.SpanAt(SpanExperiment, 70, 100, -1, 2)
+	pool.SpanAt(SpanRun, 0, 100, -1, 3)
+	s := Summarize(c)
+	if len(s.Procs) != 1 || s.Procs[0].Sweep == nil {
+		t.Fatalf("want one sweep proc, got %+v", s.Procs)
+	}
+	sw := s.Procs[0].Sweep
+	if sw.Experiments != 3 || sw.Workers != 2 {
+		t.Errorf("experiments/workers = %d/%d; want 3/2", sw.Experiments, sw.Workers)
+	}
+	if !almost(sw.Occupancy, 130.0/200.0) {
+		t.Errorf("occupancy = %v; want %v", sw.Occupancy, 130.0/200.0)
+	}
+	if !almost(sw.QueueLatencyMeanSeconds*1e9, 80.0/3.0) {
+		t.Errorf("queue latency mean = %v ns; want %v", sw.QueueLatencyMeanSeconds*1e9, 80.0/3.0)
+	}
+	if !almost(sw.QueueLatencyMaxSeconds*1e9, 70) {
+		t.Errorf("queue latency max = %v ns; want 70", sw.QueueLatencyMaxSeconds*1e9)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, shardedFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("exported trace fails validation: %v\n%s", err, buf.String())
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"host: run CG"`, `"worker 0"`, `"worker 1"`, `"barrier.wait"`, `"epoch":0`, `kind=engine`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace lacks %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestArtifactsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteArtifacts(dir, shardedFixture()); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckArtifacts(dir, true); err != nil {
+		t.Fatalf("artifacts written by WriteArtifacts fail their own check: %v", err)
+	}
+}
+
+func TestValidateSummaryRejects(t *testing.T) {
+	marshal := func(s Summary) []byte {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	// No sharded proc when one is required.
+	seq := Summary{SchemaVersion: 1, Procs: []ProcSummary{{
+		Name: "run", Kind: "engine", Engine: &EngineSummary{Mode: "sequential"},
+	}}}
+	if err := ValidateSummary(marshal(seq), true); err == nil {
+		t.Error("sequential-only summary passed requireSharded validation")
+	}
+	if err := ValidateSummary(marshal(seq), false); err != nil {
+		t.Errorf("sequential-only summary failed non-sharded validation: %v", err)
+	}
+	// An impossible imbalance ratio (max/mean < 1).
+	bad := Summary{SchemaVersion: 1, Procs: []ProcSummary{{
+		Name: "run", Kind: "engine", Engine: &EngineSummary{
+			Mode: "epoch-sharded", Epochs: 4, SimulateSeconds: 1, LoadImbalanceRatio: 0.5,
+		},
+	}}}
+	if err := ValidateSummary(marshal(bad), true); err == nil {
+		t.Error("summary with load_imbalance_ratio < 1 passed validation")
+	}
+	if err := ValidateSummary([]byte("{"), false); err == nil {
+		t.Error("truncated summary passed validation")
+	}
+}

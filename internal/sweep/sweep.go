@@ -42,6 +42,7 @@ import (
 	"spcd/internal/faultinject"
 	"spcd/internal/obs"
 	"spcd/internal/policy"
+	"spcd/internal/runtimeobs"
 	"spcd/internal/topology"
 	"spcd/internal/workloads"
 )
@@ -261,6 +262,15 @@ type Runner struct {
 	// Parallelism: total goroutines ≈ Parallelism × Shards, so callers
 	// should keep the product near GOMAXPROCS.
 	Shards int
+
+	// Runtime, when non-nil, records host wall-clock spans for the pool
+	// (per-worker experiment occupancy, queue latency) and gives every run
+	// its own engine proc (see internal/runtimeobs). Like Now, it is purely
+	// an emission sink — the runner hands stamps in and never reads host
+	// time back — so attaching it cannot change results; unlike Now it
+	// needs no injection point because the runtimeobs-isolation lint rule
+	// certifies the one-way contract package-wide.
+	Runtime *runtimeobs.Collector
 }
 
 // Run executes every config and returns the results in the order the
@@ -283,6 +293,20 @@ func (r *Runner) Run(configs []Config) ([]Result, error) {
 
 	results := make([]Result, len(configs))
 	r.Probe.Emit(0, "sweep", "sweep.start", -1, obs.Uint("configs", uint64(len(configs))))
+
+	// Host-time pool lanes: one per worker (experiment spans carry the
+	// config index) plus the pool-wide run span. All nil-safe no-ops when
+	// Runtime is detached.
+	rtProc := r.Runtime.Proc("sweep")
+	rtProc.SetMeta("kind", "sweep")
+	rtProc.SetMetaInt("workers", int64(workers))
+	rtProc.SetMetaInt("experiments", int64(len(configs)))
+	rtPool := rtProc.Lane("sweep")
+	rtLanes := make([]*runtimeobs.Lane, workers)
+	for i := range rtLanes {
+		rtLanes[i] = rtProc.Lane(fmt.Sprintf("worker %d", i))
+	}
+	rtStart := r.Runtime.Now()
 
 	jobs := make(chan int)
 	done := make(chan int)
@@ -317,13 +341,15 @@ func (r *Runner) Run(configs []Config) ([]Result, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(lane *runtimeobs.Lane) {
 			defer wg.Done()
 			for i := range jobs {
+				expStart := r.Runtime.Now()
 				results[i] = r.runOne(configs[i])
+				lane.SpanAt(runtimeobs.SpanExperiment, expStart, r.Runtime.Now(), -1, int64(i))
 				done <- i
 			}
-		}()
+		}(rtLanes[w])
 	}
 	for i := range configs {
 		jobs <- i
@@ -343,6 +369,7 @@ func (r *Runner) Run(configs []Config) ([]Result, error) {
 	}
 	r.Probe.Emit(uint64(len(configs))+1, "sweep", "sweep.done", -1,
 		obs.Uint("ok", uint64(ok)), obs.Uint("failed", uint64(failed)))
+	rtPool.SpanAt(runtimeobs.SpanRun, rtStart, r.Runtime.Now(), -1, int64(len(configs)))
 	return results, nil
 }
 
@@ -386,6 +413,13 @@ func (r *Runner) runOne(c Config) (res Result) {
 	if r.FaultPlan != nil {
 		inj = faultinject.NewInjector(*r.FaultPlan, seed)
 	}
+	// Each observed run gets its own host-time proc so its engine lanes
+	// (shard workers, barrier) group separately in the merged trace. Guarded
+	// rather than relying on nil-safety alone: Key() allocates.
+	var rtp *runtimeobs.Proc
+	if r.Runtime != nil {
+		rtp = r.Runtime.Proc("run " + c.Key())
+	}
 	var start int64
 	if r.Now != nil {
 		start = r.Now()
@@ -398,6 +432,7 @@ func (r *Runner) runOne(c Config) (res Result) {
 		Probe:    res.Probe,
 		Injector: inj,
 		Shards:   r.Shards,
+		Runtime:  rtp,
 	})
 	if r.Now != nil {
 		res.WallNanos = r.Now() - start

@@ -68,6 +68,11 @@ type Sweep struct {
 	// the plan and the run seed — the determinism contract above covers
 	// faulted sweeps too). Nil or an inactive plan runs the grid fault-free.
 	Faults *FaultPlan
+
+	// Runtime, when set, records host wall-clock spans for the sweep pool
+	// and every run in it (see RuntimeCollector). Strictly one-way, so
+	// results are unchanged; nil disables at zero cost.
+	Runtime *RuntimeCollector
 }
 
 // SweepResults holds a sweep's outcome grouped per kernel, plus the
@@ -141,6 +146,7 @@ func (s Sweep) Run() (*SweepResults, error) {
 		Probe:       s.Probe,
 		FaultPlan:   s.Faults,
 		Shards:      s.Shards,
+		Runtime:     s.Runtime,
 	}
 	if s.Seeder != nil {
 		//lint:ignore determinism-flow Seeder is the user-supplied seed derivation itself; its output becomes the run seed, so determinism is definitional here.
