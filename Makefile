@@ -10,7 +10,7 @@
 # verify.sh's BENCH=1 / OBS=1 blocks call these targets, so the recipe lives
 # in exactly one place.
 
-.PHONY: build test race lint lint-bench verify bench bench-smoke obs-smoke chaos-smoke shard-smoke runtimeobs-smoke
+.PHONY: build test race lint lint-bench verify bench bench-smoke obs-smoke chaos-smoke shard-smoke runtimeobs-smoke shootdown-smoke
 
 build:
 	go build ./...
@@ -81,6 +81,25 @@ runtimeobs-smoke:
 	go run ./cmd/spcdobs -bench CG -class small -threads 8 \
 		-policies os,spcd -shards 4 -dir $(RUNTIMEOBS_DIR) \
 		-runtimeobs $(RUNTIMEOBS_DIR) -check
+
+# Translation-coherence cost model under both schemes at ClassSmall scale:
+# the full grid runs with -shootdown ipi and hatric, and each leg must be
+# byte-identical at parallelism 1 vs 8 (-check) AND at shards 1 vs 4
+# (-checkshards) — shootdown charging is canonical, so worker count and
+# shard count cannot leak into the honest remap costs. The comparison CSVs
+# land in SHOOTDOWN_DIR (CI uploads them as artifacts).
+SHOOTDOWN_DIR ?= .shootdown-smoke
+
+shootdown-smoke:
+	mkdir -p $(SHOOTDOWN_DIR)
+	go run ./cmd/chaossweep -bench CG -class small -threads 8 \
+		-policies os,spcd -intensities 0,0.5,1 -seed 42 -reps 2 \
+		-shootdown ipi -check -checkshards \
+		-csv $(SHOOTDOWN_DIR)/shootdown_ipi.csv
+	go run ./cmd/chaossweep -bench CG -class small -threads 8 \
+		-policies os,spcd -intensities 0,0.5,1 -seed 42 -reps 2 \
+		-shootdown hatric -check -checkshards \
+		-csv $(SHOOTDOWN_DIR)/shootdown_hatric.csv
 
 # The epoch-sharded engine's byte-identity gate at full ClassSmall scale:
 # the complete kernel x policy grid must be identical at shards 1/2/4/8,

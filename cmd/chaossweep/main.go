@@ -11,6 +11,8 @@
 //	chaossweep -bench SP -policies os,spcd,tlb,hwc -intensities 0,0.5,1
 //	chaossweep -bench CG -class small -check          # prove report determinism
 //	chaossweep -bench CG -csv curves.csv -parallel 4
+//	chaossweep -shootdown ipi -check -checkshards     # honest remap costs, byte-
+//	                                                  # identity at 1/8 workers and 1/4 shards
 //
 // Determinism: every fault decision is drawn from streams seeded purely by
 // (plan seed, run seed, site), so the full report — including the injected
@@ -44,8 +46,10 @@ func main() {
 		reps        = flag.Int("reps", 2, "repetitions per (policy, intensity)")
 		parallel    = flag.Int("parallel", 0, "concurrent experiments (0 = GOMAXPROCS); the report is identical for every value")
 		shards      = flag.Int("shards", 0, "intra-run engine workers (0 = sequential engine; >=1 = epoch-sharded engine)")
+		shootdown   = flag.String("shootdown", "none", "TLB shootdown cost model: none, ipi, or hatric")
 		csvPath     = flag.String("csv", "", "also write the curves as CSV to this path")
 		check       = flag.Bool("check", false, "build the report twice (parallelism 1 and 8) and fail unless byte-identical")
+		checkShards = flag.Bool("checkshards", false, "also build the epoch-sharded report at shards 1 and 4 and fail unless byte-identical")
 
 		runtimeDir = flag.String("runtimeobs", "", "write host runtime-observability artifacts (runtime_trace.json, runtime_summary.json) to this directory")
 	)
@@ -62,6 +66,9 @@ func main() {
 		fatal(err)
 	}
 	mach := spcd.DefaultMachine()
+	if err := spcd.ConfigureShootdown(mach, *shootdown); err != nil {
+		fatal(err)
+	}
 	var w spcd.Workload
 	switch *suite {
 	case "nas":
@@ -103,6 +110,9 @@ func main() {
 		machine: mach, workload: w, policies: pols, axis: axis,
 		seed: *seed, reps: *reps, shards: *shards,
 	}
+	if s := mach.Shootdown.String(); s != "none" {
+		g.shootdown = s
+	}
 	if *runtimeDir != "" {
 		g.runtime = runtimeobs.New()
 	}
@@ -118,8 +128,14 @@ func main() {
 			fatal(fmt.Errorf("determinism check failed: parallelism 1 and 8 disagree"))
 		}
 		fmt.Fprintln(os.Stderr, "check ok: report byte-identical at parallelism 1 and 8")
+		if *checkShards {
+			checkShardIdentity(g)
+		}
 		emit(rep1, csv1, *csvPath)
 	} else {
+		if *checkShards {
+			checkShardIdentity(g)
+		}
 		rep, csv := g.run(*parallel)
 		emit(rep, csv, *csvPath)
 	}
@@ -155,6 +171,10 @@ type grid struct {
 	seed     int64
 	reps     int
 	shards   int // 0: sequential engine; >=1: epoch-sharded engine
+
+	// shootdown is the TLB shootdown cost-model name when armed, "" for the
+	// historical mode-none output (which must stay byte-identical).
+	shootdown string
 
 	// runtime, when set, collects host wall-clock spans per intensity sweep.
 	// One-way: the report and CSV are identical with it on or off.
@@ -211,12 +231,27 @@ func (g grid) run(parallelism int) (report, csv string) {
 			rows = append(rows, r)
 		}
 	}
-	return render(rows, g.policies), renderCSV(rows)
+	return render(rows, g.policies, g.shootdown), renderCSV(rows, g.shootdown)
+}
+
+// checkShardIdentity proves the epoch-sharded engine's worker-count
+// independence for this grid: the full report and CSV must be byte-identical
+// at 1 and 4 shards. Run at parallelism 1 so the only variable is the shard
+// count.
+func checkShardIdentity(g grid) {
+	g1, g4 := g, g
+	g1.shards, g4.shards = 1, 4
+	rep1, csv1 := g1.run(1)
+	rep4, csv4 := g4.run(1)
+	if rep1 != rep4 || csv1 != csv4 {
+		fatal(fmt.Errorf("shard determinism check failed: shards 1 and 4 disagree"))
+	}
+	fmt.Fprintln(os.Stderr, "check ok: report byte-identical at shards 1 and 4")
 }
 
 // render produces the degradation-curve report: per policy, each intensity's
 // metrics normalized to that policy's intensity-0 (fault-free) row.
-func render(rows []row, pols []string) string {
+func render(rows []row, pols []string, shootdown string) string {
 	base := make(map[string]row, len(pols))
 	for _, r := range rows {
 		if r.intensity == 0 {
@@ -227,6 +262,9 @@ func render(rows []row, pols []string) string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "chaos degradation curves (mean over reps; norm = vs same policy at intensity 0)\n")
+	if shootdown != "" {
+		fmt.Fprintf(&b, "shootdown cost model: %s\n", shootdown)
+	}
 	fmt.Fprintf(&b, "%-9s %-8s %-16s %12s %14s %11s %8s\n",
 		"intensity", "policy", "plan", "time_s", "c2c_cross", "migrations", "faults")
 	for _, r := range rows {
@@ -265,9 +303,14 @@ func render(rows []row, pols []string) string {
 	return b.String()
 }
 
-// renderCSV renders the same rows as machine-readable CSV.
-func renderCSV(rows []row) string {
+// renderCSV renders the same rows as machine-readable CSV. When a shootdown
+// cost model is armed its name rides along as a leading comment line so the
+// artifact self-identifies; mode none keeps the historical byte layout.
+func renderCSV(rows []row, shootdown string) string {
 	var b strings.Builder
+	if shootdown != "" {
+		fmt.Fprintf(&b, "# shootdown: %s\n", shootdown)
+	}
 	b.WriteString("intensity,policy,plan_digest,exec_seconds,c2c_cross_socket,c2c_total,migrations,injected_faults\n")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%g,%s,%s,%g,%g,%g,%g,%d\n",

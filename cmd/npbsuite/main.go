@@ -62,6 +62,9 @@ type options struct {
 	seed     int64
 	parallel int
 	shards   int // 0: sequential engine; >=1: epoch-sharded engine
+	// shootdown is the translation-coherence cost model ("" or "none"
+	// keeps remaps free and the historical output bytes).
+	shootdown string
 
 	// runtime, when set, collects host wall-clock spans for the sweep pool
 	// and every run. One-way: table and CSV bytes are identical with it on
@@ -71,16 +74,17 @@ type options struct {
 
 func main() {
 	var (
-		class    = flag.String("class", "small", "workload class: test, tiny, small, A")
-		reps     = flag.Int("reps", 3, "repetitions per configuration (paper: 10)")
-		metric   = flag.String("metric", "", "single metric to report (default: all figures + Table II)")
-		kernels  = flag.String("kernels", "", "comma-separated kernel subset (default: all ten)")
-		policies = flag.String("policies", "", "comma-separated policies (default: os,random,oracle,spcd; also: tlb, hwc)")
-		threads  = flag.Int("threads", 32, "threads per benchmark")
-		seed     = flag.Int64("seed", 0, "master seed for the per-experiment seed derivation")
-		parallel = flag.Int("parallel", 0, "concurrent experiments (0 = GOMAXPROCS, 1 = sequential); results are identical for every value")
-		shards   = flag.Int("shards", 0, "intra-run engine workers (0 = sequential engine; >=1 = epoch-sharded engine, identical results for every value >= 1)")
-		csvPath  = flag.String("csv", "", "also write every table as CSV to this file")
+		class     = flag.String("class", "small", "workload class: test, tiny, small, A")
+		reps      = flag.Int("reps", 3, "repetitions per configuration (paper: 10)")
+		metric    = flag.String("metric", "", "single metric to report (default: all figures + Table II)")
+		kernels   = flag.String("kernels", "", "comma-separated kernel subset (default: all ten)")
+		policies  = flag.String("policies", "", "comma-separated policies (default: os,random,oracle,spcd; also: tlb, hwc)")
+		threads   = flag.Int("threads", 32, "threads per benchmark")
+		seed      = flag.Int64("seed", 0, "master seed for the per-experiment seed derivation")
+		parallel  = flag.Int("parallel", 0, "concurrent experiments (0 = GOMAXPROCS, 1 = sequential); results are identical for every value")
+		shards    = flag.Int("shards", 0, "intra-run engine workers (0 = sequential engine; >=1 = epoch-sharded engine, identical results for every value >= 1)")
+		shootdown = flag.String("shootdown", "none", "TLB shootdown cost model: none, ipi, or hatric")
+		csvPath   = flag.String("csv", "", "also write every table as CSV to this file")
 
 		runtimeDir = flag.String("runtimeobs", "", "write host runtime-observability artifacts (runtime_trace.json, runtime_summary.json) to this directory")
 	)
@@ -95,6 +99,7 @@ func main() {
 	o := options{
 		class: *class, reps: *reps, metric: *metric,
 		threads: *threads, seed: *seed, parallel: *parallel, shards: *shards,
+		shootdown: *shootdown,
 	}
 	if *runtimeDir != "" {
 		o.runtime = spcd.NewRuntimeCollector()
@@ -159,6 +164,9 @@ func buildReport(o options, progress func(done, total int, key string, err error
 		pols = spcd.PolicyNames
 	}
 	mach := spcd.DefaultMachine()
+	if err := spcd.ConfigureShootdown(mach, o.shootdown); err != nil {
+		return nil, nil, err
+	}
 
 	// Self-describing output: every result file carries the configuration
 	// that produced it, so archived tables can be reproduced exactly.
@@ -169,6 +177,11 @@ func buildReport(o options, progress func(done, total int, key string, err error
 		// engine's, so sharded tables record it. Sequential runs keep the
 		// historical header byte-for-byte.
 		header = append(header, fmt.Sprintf("# engine: epoch-sharded  shards: %d", o.shards))
+	}
+	if mach.Shootdown.String() != "none" {
+		// Like -shards: the cost model changes the numbers, so armed tables
+		// record it; mode none keeps the historical header byte-for-byte.
+		header = append(header, fmt.Sprintf("# shootdown: %s", mach.Shootdown))
 	}
 
 	res, err := spcd.Sweep{

@@ -55,6 +55,7 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "concurrent experiments (0 = GOMAXPROCS, 1 = sequential/uncontended)")
 		shards     = flag.Int("shards", 0, "intra-run engine workers (0 = sequential engine; >=1 = epoch-sharded engine)")
 		shardaxis  = flag.String("shardaxis", "", "comma-separated shard counts to time in sequence (e.g. 0,4); overrides -shards, first entry is the baseline")
+		shootdown  = flag.String("shootdown", "none", "TLB shootdown cost model: none, ipi, or hatric")
 		out        = flag.String("o", "BENCH_engine.json", "output JSON path (empty: stdout only)")
 		history    = flag.String("history", "", "append the record to this JSONL history (e.g. BENCH_history.jsonl) for cmd/benchdiff")
 		runtimeDir = flag.String("runtimeobs", "", "write host runtime-observability artifacts (runtime_trace.json, runtime_summary.json) to this directory")
@@ -75,6 +76,9 @@ func main() {
 		*reps = 1
 	}
 	mach := spcd.DefaultMachine()
+	if err := spcd.ConfigureShootdown(mach, *shootdown); err != nil {
+		fatal(err)
+	}
 
 	stopProf, err := prof.Start()
 	if err != nil {

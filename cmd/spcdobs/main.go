@@ -41,17 +41,18 @@ import (
 
 func main() {
 	var (
-		bench    = flag.String("bench", "CG", "benchmark name")
-		suite    = flag.String("suite", "nas", "workload suite: nas, parsec, pc")
-		class    = flag.String("class", "tiny", "workload class: test, tiny, small, A")
-		threads  = flag.Int("threads", 8, "threads")
-		policies = flag.String("policies", "os,spcd", "comma-separated policies to trace")
-		seed     = flag.Int64("seed", 1, "run seed")
-		parallel = flag.Int("parallel", 1, "concurrent experiments (0 = GOMAXPROCS); artifacts are identical for every value")
-		shards   = flag.Int("shards", 0, "intra-run engine workers (0 = sequential engine; >=1 = epoch-sharded engine)")
-		dir      = flag.String("dir", ".", "output directory for trace/timeseries files")
-		sample   = flag.Uint64("sample", 0, "snapshot interval in cycles (0 = ~256 rows per run)")
-		check    = flag.Bool("check", false, "re-read the written artifacts and validate them")
+		bench     = flag.String("bench", "CG", "benchmark name")
+		suite     = flag.String("suite", "nas", "workload suite: nas, parsec, pc")
+		class     = flag.String("class", "tiny", "workload class: test, tiny, small, A")
+		threads   = flag.Int("threads", 8, "threads")
+		policies  = flag.String("policies", "os,spcd", "comma-separated policies to trace")
+		seed      = flag.Int64("seed", 1, "run seed")
+		parallel  = flag.Int("parallel", 1, "concurrent experiments (0 = GOMAXPROCS); artifacts are identical for every value")
+		shards    = flag.Int("shards", 0, "intra-run engine workers (0 = sequential engine; >=1 = epoch-sharded engine)")
+		dir       = flag.String("dir", ".", "output directory for trace/timeseries files")
+		sample    = flag.Uint64("sample", 0, "snapshot interval in cycles (0 = ~256 rows per run)")
+		shootdown = flag.String("shootdown", "none", "TLB shootdown cost model: none, ipi, or hatric")
+		check     = flag.Bool("check", false, "re-read the written artifacts and validate them")
 
 		runtimeDir = flag.String("runtimeobs", "", "also write host runtime-observability artifacts (runtime_trace.json, runtime_summary.json) to this directory")
 	)
@@ -63,6 +64,9 @@ func main() {
 		fatal(err)
 	}
 	mach := spcd.DefaultMachine()
+	if err := spcd.ConfigureShootdown(mach, *shootdown); err != nil {
+		fatal(err)
+	}
 	var w spcd.Workload
 	switch *suite {
 	case "nas":

@@ -175,6 +175,13 @@ func isEntryNode(n *Node) bool {
 		return recv != nil && (name == "Evaluate" || name == "Saturate" || name == "Tick")
 	case "spcd/internal/faultinject":
 		return recv != nil && (name == "Hit" || name == "StallCycles" || name == "NodeOverCapacity")
+	case "spcd/internal/vm":
+		// The translation-coherence charging paths: every remap, unmap and
+		// present-bit clear prices its TLB shootdown here, and the remote
+		// stalls drain into thread clocks, so a nondeterministic draw on any
+		// of these would break the shard/parallelism byte-identity contract.
+		return recv != nil && (name == "ClearPresentAt" || name == "TryMigratePageAt" ||
+			name == "Unmap" || name == "DrainRemoteStalls")
 	}
 	return false
 }

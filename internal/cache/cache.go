@@ -362,6 +362,26 @@ func (h *Hierarchy) PairC2C() [][]uint64 {
 // LineOf returns the cache-line index of a byte address.
 func (h *Hierarchy) LineOf(addr uint64) uint64 { return addr >> h.lineShift }
 
+// PageSharerCores returns the union of the directory sharer bitsets over
+// every cache line of the page starting at physical byte address addr and
+// spanning size bytes: the cores that may privately cache data of that page
+// and therefore may hold its translation. The read is alloc-free (untouched
+// lines contribute nothing) and does not disturb directory state, so the
+// shootdown cost model can consult it on every remap without perturbing the
+// coherence simulation.
+func (h *Hierarchy) PageSharerCores(addr, size uint64) uint32 {
+	first := addr >> h.lineShift
+	n := size >> h.lineShift
+	if n == 0 {
+		n = 1
+	}
+	var sharers uint32
+	for i := uint64(0); i < n; i++ {
+		sharers |= h.peekEntry(first + i).sharers
+	}
+	return sharers
+}
+
 func (h *Hierarchy) entry(line uint64) *dirEntry {
 	c := line >> dirChunkBits
 	if c >= uint64(len(h.dir)) {

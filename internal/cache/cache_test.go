@@ -259,3 +259,27 @@ func BenchmarkAccessStreaming(b *testing.B) {
 		h.Access(i%32, uint64(i)*64, i%8 == 0, 0)
 	}
 }
+
+// TestPageSharerCores: the shootdown target set is the union of the
+// directory sharer bitsets over every line of the page — read-sharing
+// contexts on distinct cores must all appear, and an untouched page must
+// report no sharers.
+func TestPageSharerCores(t *testing.T) {
+	h, m := newH()
+	pageSize := uint64(m.PageSize)
+	if got := h.PageSharerCores(0, pageSize); got != 0 {
+		t.Fatalf("untouched page has sharers %032b", got)
+	}
+	// Two contexts on different cores read different lines of page 0.
+	h.Access(0, 0x000, false, 0)
+	h.Access(2, 0x040, false, 0)
+	want := uint32(1<<m.CoreOf(0) | 1<<m.CoreOf(2))
+	if got := h.PageSharerCores(0, pageSize); got != want {
+		t.Errorf("page sharers = %032b, want %032b", got, want)
+	}
+	// The next page is untouched: line accounting must not bleed across
+	// page boundaries.
+	if got := h.PageSharerCores(pageSize, pageSize); got != 0 {
+		t.Errorf("neighbor page has sharers %032b", got)
+	}
+}

@@ -256,7 +256,7 @@ func (s *Sampler) MaybeRun(now uint64) int {
 	pages := s.as.SampleResident(s.rng, s.batch)
 	cleared := 0
 	for _, vpn := range pages {
-		if s.as.ClearPresent(vpn) {
+		if s.as.ClearPresentAt(vpn, now) {
 			cleared++
 		}
 	}

@@ -195,6 +195,10 @@ type Metrics struct {
 	// CommMatrix is the communication pattern the policy detected (nil
 	// for policies without detection).
 	CommMatrix *commmatrix.Matrix
+
+	// Shootdown is the translation-coherence cost model's tally; all-zero
+	// under topology.ShootdownNone.
+	Shootdown vm.ShootdownStats
 }
 
 // String renders a one-line summary.
@@ -249,6 +253,9 @@ func Run(cfg Config) (Metrics, error) {
 	run := cfg.Workload.NewRun(cfg.Seed)
 	inj := cfg.Injector
 	as.SetInjector(inj)
+	// The cache directory supplies the shootdown sharer sets; under
+	// ShootdownNone the MMU never consults it.
+	as.SetSharerSource(caches)
 
 	// Observability wiring happens before Policy.Init so a policy that
 	// implements obs.Observer can register its own metrics and emit events
@@ -292,6 +299,8 @@ func Run(cfg Config) (Metrics, error) {
 	var execCycles uint64
 	migrations, movedThreads := 0, 0
 	nextTick := cfg.TickIntervalCycles
+	// Reusable per-core buffer for draining shootdown remote stalls.
+	var sdStalls []uint64
 
 	// nextSample is the next registry-snapshot boundary; the MaxUint64
 	// sentinel makes the disabled path a single always-false comparison in
@@ -399,6 +408,25 @@ func Run(cfg Config) (Metrics, error) {
 				}
 				nextTick += cfg.TickIntervalCycles
 			}
+			// Remote TLB-invalidate stalls from any shootdowns the ticks
+			// issued: each affected core's cycles land on the threads placed
+			// there, in thread order. All shootdown sources run inside
+			// Policy.Tick, so this drain is the only place the charge can
+			// appear — single-threaded here and at the sharded barrier alike.
+			if stalls, any := as.DrainRemoteStalls(sdStalls); any {
+				sdStalls = stalls
+				for t := 0; t < n; t++ {
+					if threads[t].done {
+						continue
+					}
+					if sc := stalls[mach.CoreOf(affinity[t])]; sc > 0 {
+						threads[t].clock += sc
+						clocksMoved = true
+					}
+				}
+			} else {
+				sdStalls = stalls
+			}
 			// Re-heapify only when a migration charged cycles: on a quiet
 			// tick h is still a valid heap and heap.Init would be a
 			// structural no-op (sift-down never swaps on ties), so skipping
@@ -493,6 +521,7 @@ func Run(cfg Config) (Metrics, error) {
 		Migrations:      migrations,
 		MigratedThreads: movedThreads,
 		CommMatrix:      cfg.Policy.FinalMatrix(),
+		Shootdown:       as.ShootdownStats(),
 	}
 	if instructions > 0 {
 		m.L2MPKI = float64(m.Cache.L2Misses) / float64(instructions) * 1000
@@ -503,11 +532,14 @@ func Run(cfg Config) (Metrics, error) {
 	ov := cfg.Policy.Overheads()
 	// Induced page faults stall the application directly; their cost is
 	// part of the detection overhead (§V-F), together with the modeled
-	// handler and sampler work.
+	// handler and sampler work. Shootdowns split the same way: present-bit
+	// clears are sampler activity (detection); remap shootdowns are charged
+	// inside the policy's migration accounting (MappingCycles), so only the
+	// clear-side initiator stall is added here.
 	inducedCycles := m.VM.InducedFaults * uint64(as.Costs().InducedFault)
 	totalCPU := float64(execCycles) * float64(n)
 	if totalCPU > 0 {
-		m.DetectionOverheadPct = 100 * float64(ov.DetectionCycles+inducedCycles) / totalCPU
+		m.DetectionOverheadPct = 100 * float64(ov.DetectionCycles+inducedCycles+m.Shootdown.ClearInitCycles) / totalCPU
 		m.MappingOverheadPct = 100 * float64(ov.MappingCycles) / totalCPU
 	}
 	tEnd := rt.Now()

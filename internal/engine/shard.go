@@ -110,6 +110,11 @@ func runSharded(cfg Config) (Metrics, error) {
 	run := cfg.Workload.NewRun(cfg.Seed)
 	inj := cfg.Injector
 	as.SetInjector(inj)
+	// The cache directory supplies the shootdown sharer sets; under
+	// ShootdownNone the MMU never consults it. Shootdowns only happen in
+	// barrier step 5 (policy ticks), where the directory is merged and
+	// quiescent, so the read is safe and shard-count-independent.
+	as.SetSharerSource(caches)
 
 	probe := cfg.Probe
 	if probe != nil {
@@ -155,6 +160,8 @@ func runSharded(cfg Config) (Metrics, error) {
 	var execCycles uint64
 	migrations, movedThreads := 0, 0
 	nextTick := cfg.TickIntervalCycles
+	// Reusable per-core buffer for draining shootdown remote stalls.
+	var sdStalls []uint64
 
 	nextSample := uint64(math.MaxUint64)
 	var sampleInterval uint64
@@ -422,6 +429,23 @@ func runSharded(cfg Config) (Metrics, error) {
 			}
 			nextTick += cfg.TickIntervalCycles
 		}
+		// Remote TLB-invalidate stalls from any shootdowns the ticks issued,
+		// charged in thread order against the post-tick affinity — the same
+		// canonical drain as the sequential engine, still single-threaded,
+		// so the charge is byte-identical at every shard count.
+		if stalls, any := as.DrainRemoteStalls(sdStalls); any {
+			sdStalls = stalls
+			for t := 0; t < n; t++ {
+				if threads[t].done {
+					continue
+				}
+				if sc := stalls[mach.CoreOf(affinity[t])]; sc > 0 {
+					threads[t].clock += sc
+				}
+			}
+		} else {
+			sdStalls = stalls
+		}
 
 		// 6. Registry snapshots at the boundaries the epoch crossed.
 		for nextSample <= epochEnd {
@@ -459,6 +483,7 @@ func runSharded(cfg Config) (Metrics, error) {
 		Migrations:      migrations,
 		MigratedThreads: movedThreads,
 		CommMatrix:      cfg.Policy.FinalMatrix(),
+		Shootdown:       as.ShootdownStats(),
 	}
 	if instructions > 0 {
 		m.L2MPKI = float64(m.Cache.L2Misses) / float64(instructions) * 1000
@@ -467,10 +492,12 @@ func runSharded(cfg Config) (Metrics, error) {
 	m.Energy = energy.Compute(*cfg.EnergyParams, mach, m.ExecSeconds, instructions, m.Cache)
 
 	ov := cfg.Policy.Overheads()
+	// Same overhead split as the sequential engine: clear-side shootdown
+	// initiator stall joins detection, remap-side is inside MappingCycles.
 	inducedCycles := m.VM.InducedFaults * uint64(as.Costs().InducedFault)
 	totalCPU := float64(execCycles) * float64(n)
 	if totalCPU > 0 {
-		m.DetectionOverheadPct = 100 * float64(ov.DetectionCycles+inducedCycles) / totalCPU
+		m.DetectionOverheadPct = 100 * float64(ov.DetectionCycles+inducedCycles+m.Shootdown.ClearInitCycles) / totalCPU
 		m.MappingOverheadPct = 100 * float64(ov.MappingCycles) / totalCPU
 	}
 	tEnd := rt.Now()

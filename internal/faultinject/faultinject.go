@@ -60,6 +60,11 @@ const (
 	// SiteEngineThreadStall charges a thread a burst of stall cycles at a
 	// scheduling slice, modeling preemption by unrelated system load.
 	SiteEngineThreadStall Site = "engine.thread.stall"
+	// SiteVMShootdownDelay stretches one TLB shootdown's initiator stall, as
+	// when a target core has interrupts disabled and the wait-for-acks phase
+	// spins until it re-enables them. Only consulted when a shootdown mode
+	// is armed, so plans with this rate set leave mode-none runs untouched.
+	SiteVMShootdownDelay Site = "vm.shootdown.delay"
 )
 
 // Sites is the package-level site registry, in declaration order. The
@@ -73,6 +78,7 @@ var Sites = []Site{
 	SitePolicySamplerSaturate,
 	SitePolicyRemapDelay,
 	SiteEngineThreadStall,
+	SiteVMShootdownDelay,
 }
 
 // siteIdx maps a Site to its position in Sites; built once at init.
@@ -124,6 +130,14 @@ type Plan struct {
 	// StallBurstCycles is the nominal preemption length; each stall draws
 	// a burst in [0.5, 1.5) × this value.
 	StallBurstCycles uint64
+	// ShootdownDelayRate is the probability one TLB shootdown's initiator
+	// stall is stretched by ShootdownDelayCycles (SiteVMShootdownDelay).
+	// The site is consulted only when the machine arms a shootdown mode,
+	// so a nonzero rate cannot perturb mode-none runs.
+	ShootdownDelayRate float64
+	// ShootdownDelayCycles is the extra initiator stall charged when the
+	// delay fires.
+	ShootdownDelayCycles uint64
 }
 
 // DefaultPlan returns the canonical fault mix scaled by intensity in [0,1]
@@ -139,15 +153,17 @@ func DefaultPlan(seed int64, intensity float64) Plan {
 		intensity = 1
 	}
 	p := Plan{
-		Seed:                seed,
-		Intensity:           intensity,
-		FaultDropRate:       0.10 * intensity,
-		FaultDupRate:        0.05 * intensity,
-		MigrateFailRate:     0.30 * intensity,
-		SamplerSaturateRate: 0.20 * intensity,
-		RemapDelayRate:      0.25 * intensity,
-		StallRate:           0.002 * intensity,
-		StallBurstCycles:    20_000,
+		Seed:                 seed,
+		Intensity:            intensity,
+		FaultDropRate:        0.10 * intensity,
+		FaultDupRate:         0.05 * intensity,
+		MigrateFailRate:      0.30 * intensity,
+		SamplerSaturateRate:  0.20 * intensity,
+		RemapDelayRate:       0.25 * intensity,
+		StallRate:            0.002 * intensity,
+		StallBurstCycles:     20_000,
+		ShootdownDelayRate:   0.15 * intensity,
+		ShootdownDelayCycles: 10_000,
 	}
 	if intensity > 0 {
 		// Tighter capacity headroom at higher intensity: 2× the even
@@ -167,7 +183,7 @@ func CanonicalPlan(seed int64) Plan { return DefaultPlan(seed, 0.5) }
 func (p Plan) Active() bool {
 	return p.FaultDropRate > 0 || p.FaultDupRate > 0 || p.MigrateFailRate > 0 ||
 		p.NodeCapacityFactor > 0 || p.SamplerSaturateRate > 0 ||
-		p.RemapDelayRate > 0 || p.StallRate > 0
+		p.RemapDelayRate > 0 || p.StallRate > 0 || p.ShootdownDelayRate > 0
 }
 
 // rate returns the plan's probability for site s (capacity is not a rate
@@ -184,6 +200,8 @@ func (p Plan) rate(s Site) float64 {
 		return p.SamplerSaturateRate
 	case SitePolicyRemapDelay:
 		return p.RemapDelayRate
+	case SiteVMShootdownDelay:
+		return p.ShootdownDelayRate
 	case SiteEngineThreadStall:
 		// A thread stalled on every slice would never retire an access;
 		// clamp so forward progress is guaranteed under any plan.
@@ -210,7 +228,9 @@ func (p Plan) Digest() string {
 		"|" + g(p.SamplerSaturateRate) +
 		"|" + g(p.RemapDelayRate) +
 		"|" + g(p.StallRate) +
-		"|" + strconv.FormatUint(p.StallBurstCycles, 10)
+		"|" + strconv.FormatUint(p.StallBurstCycles, 10) +
+		"|" + g(p.ShootdownDelayRate) +
+		"|" + strconv.FormatUint(p.ShootdownDelayCycles, 10)
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211

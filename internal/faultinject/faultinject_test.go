@@ -215,6 +215,8 @@ func TestDigest(t *testing.T) {
 		DefaultPlan(42, 0.6),
 		func() Plan { q := p; q.StallBurstCycles++; return q }(),
 		func() Plan { q := p; q.NodeCapacityFactor += 0.01; return q }(),
+		func() Plan { q := p; q.ShootdownDelayRate += 0.01; return q }(),
+		func() Plan { q := p; q.ShootdownDelayCycles++; return q }(),
 	}
 	seen := map[string]bool{p.Digest(): true}
 	for i, v := range variants {

@@ -247,7 +247,10 @@ type SPCDOptions struct {
 	DataDominance float64
 
 	// PageMigrationCostCycles models the kernel cost of moving one page
-	// (copy + remap + shootdown); 0 selects 6000 cycles (~3 us).
+	// (copy + remap bookkeeping); 0 selects 6000 cycles (~3 us). The TLB
+	// shootdown each remap triggers is priced separately by the machine's
+	// translation-coherence model (topology.ShootdownMode) and folded into
+	// the same mapping-overhead accounting when a mode is armed.
 	PageMigrationCostCycles uint64
 }
 
@@ -553,6 +556,11 @@ func (p *SPCD) migrateData(now uint64) {
 	}
 	var failed, dropped, retried uint64
 	backoffBase := maxU64(p.evalInterval/4, 1)
+	// Remap shootdowns (when a mode is armed) are part of what a migration
+	// costs this policy: the initiator-stall delta across this evaluation is
+	// folded into dataMigCycles below, so mapping overhead and the fallback
+	// watchdog both see the honest price of remapping.
+	sdBefore := p.env.AS.ShootdownStats().RemapInitCycles
 
 	// Drain due retries first, in enqueue order (deterministic).
 	keep := p.pageRetries[:0]
@@ -561,7 +569,7 @@ func (p *SPCD) migrateData(now uint64) {
 			keep = append(keep, r)
 			continue
 		}
-		switch p.env.AS.TryMigratePage(r.vpn, r.node) {
+		switch p.env.AS.TryMigratePageAt(r.vpn, r.node, now) {
 		case vm.MigrateOK:
 			p.dataMigrations++
 			p.dataMigCycles += pageCost
@@ -599,7 +607,7 @@ func (p *SPCD) migrateData(now uint64) {
 		node := p.mach.NodeOf(p.mig.aff[owner])
 		firstPage := (region << granShift) >> p.regionPageShift
 		for i := uint64(0); i < p.pagesPerRegion; i++ {
-			switch p.env.AS.TryMigratePage(firstPage+i, node) {
+			switch p.env.AS.TryMigratePageAt(firstPage+i, node, now) {
 			case vm.MigrateOK:
 				p.dataMigrations++
 				p.dataMigCycles += pageCost
@@ -614,6 +622,7 @@ func (p *SPCD) migrateData(now uint64) {
 			}
 		}
 	})
+	p.dataMigCycles += p.env.AS.ShootdownStats().RemapInitCycles - sdBefore
 	if p.probe != nil && (failed > 0 || dropped > 0) {
 		p.probe.Emit(now, "spcd", "data.migrate.degraded", -1,
 			obs.Uint("failed", failed), obs.Uint("retried_ok", retried),

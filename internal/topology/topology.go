@@ -68,6 +68,69 @@ type CacheGeometry struct {
 	Assoc int // ways
 }
 
+// ShootdownMode selects the translation-coherence scheme the machine charges
+// on every page remap, unmap, and present-bit clear. None is free (today's
+// idealized behavior); IPI models the Linux software path (initiator IPIs
+// every core that may cache the translation and waits for acknowledgments);
+// HATRIC models directory-driven hardware translation coherence, which
+// invalidates remote TLB entries at a fraction of the IPI cost.
+type ShootdownMode int
+
+const (
+	// ShootdownNone charges remaps nothing: translations are assumed
+	// coherent for free, as the simulator behaved before this knob existed.
+	ShootdownNone ShootdownMode = iota
+	// ShootdownIPI charges the software inter-processor-interrupt protocol:
+	// the initiating context stalls for the flush setup plus one IPI per
+	// sharer core, and every sharer core absorbs a remote invalidate cost.
+	ShootdownIPI
+	// ShootdownHATRIC charges a HATRIC-style hardware scheme: the cache
+	// directory carries translation coherence, so the same sharer set is
+	// invalidated at HATRICFactor of the IPI cost.
+	ShootdownHATRIC
+)
+
+// String returns the CLI spelling of the mode.
+func (m ShootdownMode) String() string {
+	switch m {
+	case ShootdownNone:
+		return "none"
+	case ShootdownIPI:
+		return "ipi"
+	case ShootdownHATRIC:
+		return "hatric"
+	}
+	return fmt.Sprintf("ShootdownMode(%d)", int(m))
+}
+
+// ParseShootdownMode parses the CLI spelling of a shootdown mode.
+func ParseShootdownMode(s string) (ShootdownMode, error) {
+	switch s {
+	case "none", "":
+		return ShootdownNone, nil
+	case "ipi":
+		return ShootdownIPI, nil
+	case "hatric":
+		return ShootdownHATRIC, nil
+	}
+	return ShootdownNone, fmt.Errorf("topology: unknown shootdown mode %q (want none, ipi or hatric)", s)
+}
+
+// ShootdownParams holds the translation-coherence costs, in core cycles.
+// The IPI figures follow the software path's measured structure: a large
+// fixed initiator stall (interrupt setup, wait-for-acks serialization), a
+// smaller per-sharer increment, and the remote core's interrupt-entry +
+// TLB-invalidate cost charged to each sharer. HATRIC reuses the same sharer
+// set but scales every component by HATRICFactor.
+type ShootdownParams struct {
+	InitiatorCycles int // fixed initiator stall per shootdown
+	PerSharerCycles int // additional initiator stall per sharer core
+	RemoteInvCycles int // cycles each sharer core loses to the invalidate
+	// HATRICFactor scales all three costs under ShootdownHATRIC
+	// (dimensionless fraction of the IPI cost, in (0, 1]).
+	HATRICFactor float64
+}
+
 // Machine describes the hardware platform. The zero value is not usable;
 // construct instances with New or DefaultXeon.
 type Machine struct {
@@ -81,6 +144,11 @@ type Machine struct {
 	L1, L2, L3 CacheGeometry // L1/L2 private per core, L3 shared per socket
 
 	Lat Latencies
+
+	// Shootdown selects the translation-coherence scheme; ShootdownCosts
+	// parameterizes it. ShootdownNone (the zero value) keeps remaps free.
+	Shootdown      ShootdownMode
+	ShootdownCosts ShootdownParams
 
 	ClockHz float64 // core frequency, used to convert cycles to seconds
 }
@@ -128,6 +196,21 @@ func DefaultXeon() *Machine {
 			DRAMLocal:      70,
 			DRAMRemote:     110,
 		},
+		// Remaps are free by default (Shootdown: none) so existing runs stay
+		// byte-identical; the parameters below take effect only when a mode
+		// is armed. The IPI figures follow the measured shape of the Linux
+		// software path at this clock: a few microseconds of initiator stall
+		// dominated by wait-for-acks, a modest per-target increment, and an
+		// interrupt-entry + invlpg cost on every sharer. HATRIC's evaluation
+		// reports hardware translation coherence recovering most of that, so
+		// the default factor charges one fifth of the software cost.
+		Shootdown: ShootdownNone,
+		ShootdownCosts: ShootdownParams{
+			InitiatorCycles: 4000,
+			PerSharerCycles: 400,
+			RemoteInvCycles: 1200,
+			HATRICFactor:    0.2,
+		},
 		ClockHz: 2.0e9,
 	}
 }
@@ -153,6 +236,20 @@ func (m *Machine) Validate() error {
 		return errors.New("topology: cache associativities must be positive")
 	case m.ClockHz <= 0:
 		return errors.New("topology: clock frequency must be positive")
+	}
+	if m.Shootdown != ShootdownNone {
+		c := m.ShootdownCosts
+		switch {
+		case m.Shootdown != ShootdownIPI && m.Shootdown != ShootdownHATRIC:
+			return fmt.Errorf("topology: unknown shootdown mode %d", int(m.Shootdown))
+		case c.InitiatorCycles < 0 || c.PerSharerCycles < 0 || c.RemoteInvCycles < 0:
+			return errors.New("topology: shootdown cycle costs must be non-negative")
+		case c.InitiatorCycles == 0 && c.PerSharerCycles == 0 && c.RemoteInvCycles == 0:
+			return errors.New("topology: shootdown mode armed with all-zero costs; use ShootdownNone instead")
+		}
+		if m.Shootdown == ShootdownHATRIC && (c.HATRICFactor <= 0 || c.HATRICFactor > 1) {
+			return fmt.Errorf("topology: HATRIC factor %g outside (0, 1]", c.HATRICFactor)
+		}
 	}
 	return nil
 }

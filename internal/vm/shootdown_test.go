@@ -1,0 +1,160 @@
+package vm
+
+import (
+	"testing"
+
+	"spcd/internal/topology"
+)
+
+// maskSource is a SharerSource stub standing in for the cache directory: it
+// reports a fixed core bitset regardless of the physical address asked about.
+type maskSource uint32
+
+func (m maskSource) PageSharerCores(addr, size uint64) uint32 { return uint32(m) }
+
+func shootdownMachine(mode topology.ShootdownMode) *topology.Machine {
+	m := topology.DefaultXeon()
+	m.Shootdown = mode
+	return m
+}
+
+// TestShootdownModeNoneChargesNothing: with the cost model disarmed, clears,
+// remaps and unmaps must leave the shootdown counters untouched and queue no
+// remote stalls — mode none is the seed behavior, bit for bit.
+func TestShootdownModeNoneChargesNothing(t *testing.T) {
+	as := NewAddressSpace(topology.DefaultXeon())
+	as.SetSharerSource(maskSource(0xFF))
+	as.Access(0, 0, 0x1000, false, 1)
+	vpn := as.PageOf(0x1000)
+	as.ClearPresentAt(vpn, 2)
+	as.Access(0, 0, 0x1000, false, 3)
+	as.TryMigratePageAt(vpn, 1, 4)
+	as.Unmap(vpn, 5)
+	if sd := as.ShootdownStats(); sd != (ShootdownStats{}) {
+		t.Errorf("mode none charged %+v", sd)
+	}
+	if _, any := as.DrainRemoteStalls(nil); any {
+		t.Error("mode none queued remote stalls")
+	}
+}
+
+// TestShootdownCostScalesWithSharers is the cost model's core contract: the
+// initiator stall and the remote invalidate total both grow linearly with
+// the directory sharer count, at exactly the configured per-sharer rates.
+func TestShootdownCostScalesWithSharers(t *testing.T) {
+	mach := shootdownMachine(topology.ShootdownIPI)
+	p := mach.ShootdownCosts
+	var prevInit, prevRemote uint64
+	for _, n := range []int{1, 2, 4, 8} {
+		as := NewAddressSpace(mach)
+		// Mask (1<<n)-1 already contains core 0, which the accessing
+		// context's TLB contributes, so the union has exactly n sharers.
+		as.SetSharerSource(maskSource(1<<n - 1))
+		as.Access(0, 0, 0x1000, false, 1)
+		as.ClearPresentAt(as.PageOf(0x1000), 2)
+		sd := as.ShootdownStats()
+		if sd.Events != 1 || sd.SharersTotal != uint64(n) {
+			t.Fatalf("n=%d: events=%d sharers=%d, want 1 and %d", n, sd.Events, sd.SharersTotal, n)
+		}
+		wantInit := uint64(p.InitiatorCycles) + uint64(p.PerSharerCycles)*uint64(n)
+		if sd.ClearInitCycles != wantInit {
+			t.Errorf("n=%d: init cycles = %d, want %d", n, sd.ClearInitCycles, wantInit)
+		}
+		wantRemote := uint64(p.RemoteInvCycles) * uint64(n)
+		if sd.RemoteCycles != wantRemote {
+			t.Errorf("n=%d: remote cycles = %d, want %d", n, sd.RemoteCycles, wantRemote)
+		}
+		if sd.ClearInitCycles <= prevInit || sd.RemoteCycles <= prevRemote {
+			t.Errorf("n=%d: cost did not grow with sharer count", n)
+		}
+		prevInit, prevRemote = sd.ClearInitCycles, sd.RemoteCycles
+	}
+}
+
+// TestShootdownKindBuckets: clears, remaps and unmaps charge their own
+// initiator buckets, so the engine can attribute clear stalls to detection
+// overhead and remap stalls to mapping overhead without cross-talk.
+func TestShootdownKindBuckets(t *testing.T) {
+	as := NewAddressSpace(shootdownMachine(topology.ShootdownIPI))
+	as.Access(0, 0, 0x1000, false, 1)
+	vpn := as.PageOf(0x1000)
+
+	as.ClearPresentAt(vpn, 2)
+	if sd := as.ShootdownStats(); sd.ClearInitCycles == 0 || sd.RemapInitCycles != 0 || sd.UnmapInitCycles != 0 {
+		t.Fatalf("after clear: %+v", sd)
+	}
+	as.Access(0, 0, 0x1000, false, 3) // restore the present bit
+	if got := as.TryMigratePageAt(vpn, 1, 4); got != MigrateOK {
+		t.Fatalf("migrate = %v", got)
+	}
+	if sd := as.ShootdownStats(); sd.RemapInitCycles == 0 || sd.UnmapInitCycles != 0 {
+		t.Fatalf("after remap: %+v", sd)
+	}
+	if !as.Unmap(vpn, 5) {
+		t.Fatal("Unmap on a mapped page reported false")
+	}
+	if sd := as.ShootdownStats(); sd.UnmapInitCycles == 0 {
+		t.Fatalf("after unmap: %+v", sd)
+	}
+	if as.Present(vpn) {
+		t.Error("page still present after Unmap")
+	}
+	if as.Unmap(vpn, 6) {
+		t.Error("double Unmap reported true")
+	}
+}
+
+// TestShootdownRemoteStallsDrain: remote invalidate cycles accumulate per
+// core and drain exactly once — the engine charges them to thread clocks
+// after each policy tick, and a second drain must find nothing.
+func TestShootdownRemoteStallsDrain(t *testing.T) {
+	mach := shootdownMachine(topology.ShootdownIPI)
+	as := NewAddressSpace(mach)
+	as.Access(0, 0, 0x1000, false, 1)
+	as.Access(1, 31, 0x1000, false, 2) // second TLB on a distant core
+	as.ClearPresentAt(as.PageOf(0x1000), 3)
+
+	stalls, any := as.DrainRemoteStalls(nil)
+	if !any {
+		t.Fatal("no remote stalls after an IPI shootdown with two TLB sharers")
+	}
+	var sum uint64
+	hit := 0
+	for _, c := range stalls {
+		sum += c
+		if c > 0 {
+			hit++
+		}
+	}
+	if want := as.ShootdownStats().RemoteCycles; sum != want {
+		t.Errorf("drained %d cycles, stats say %d", sum, want)
+	}
+	if want := 2; hit != want {
+		t.Errorf("%d cores stalled, want %d (cores %d and %d)", hit, want, mach.CoreOf(0), mach.CoreOf(31))
+	}
+	if _, again := as.DrainRemoteStalls(stalls); again {
+		t.Error("second drain still reported pending stalls")
+	}
+}
+
+// TestShootdownHATRICCheaperThanIPI: the hardware translation-coherence
+// scheme must charge the same events at a strict fraction of the IPI cost.
+func TestShootdownHATRICCheaperThanIPI(t *testing.T) {
+	run := func(mode topology.ShootdownMode) ShootdownStats {
+		as := NewAddressSpace(shootdownMachine(mode))
+		as.SetSharerSource(maskSource(0xF0))
+		as.Access(0, 0, 0x1000, false, 1)
+		as.ClearPresentAt(as.PageOf(0x1000), 2)
+		return as.ShootdownStats()
+	}
+	ipi, hatric := run(topology.ShootdownIPI), run(topology.ShootdownHATRIC)
+	if ipi.Events != hatric.Events || ipi.SharersTotal != hatric.SharersTotal {
+		t.Fatalf("schemes disagree on events: ipi %+v, hatric %+v", ipi, hatric)
+	}
+	if hatric.ClearInitCycles == 0 || hatric.ClearInitCycles >= ipi.ClearInitCycles {
+		t.Errorf("hatric init %d not in (0, ipi %d)", hatric.ClearInitCycles, ipi.ClearInitCycles)
+	}
+	if hatric.RemoteCycles == 0 || hatric.RemoteCycles >= ipi.RemoteCycles {
+		t.Errorf("hatric remote %d not in (0, ipi %d)", hatric.RemoteCycles, ipi.RemoteCycles)
+	}
+}

@@ -12,6 +12,7 @@ package vm
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"spcd/internal/faultinject"
@@ -80,12 +81,65 @@ type Stats struct {
 	FirstTouchFaults uint64
 	InducedFaults    uint64
 	PresentCleared   uint64 // present bits cleared (sampler activity)
-	Shootdowns       uint64 // TLB entries invalidated by ClearPresent
+	Shootdowns       uint64 // TLB entries invalidated by clears/remaps/unmaps
 	PageMigrations   uint64 // pages moved between NUMA nodes
 }
 
 // TotalFaults returns all faults taken.
 func (s Stats) TotalFaults() uint64 { return s.FirstTouchFaults + s.InducedFaults }
+
+// ShootdownStats counts the translation-coherence cost model's activity.
+// It is kept separate from Stats so arming a shootdown mode adds counters
+// without disturbing the Stats rendering that mode-none goldens pin.
+type ShootdownStats struct {
+	Events       uint64 // shootdowns charged (clears + remaps + unmaps)
+	SharersTotal uint64 // sharer cores summed over all events
+	// Initiator stall cycles, split by the operation that triggered the
+	// shootdown: present-bit clears belong to detection overhead, remaps to
+	// mapping overhead, unmaps to neither (teardown).
+	ClearInitCycles uint64
+	RemapInitCycles uint64
+	UnmapInitCycles uint64
+	// RemoteCycles is the total invalidate cost charged to sharer cores;
+	// the engine drains it into the affected threads' virtual clocks.
+	RemoteCycles uint64
+	// DelayCycles is the injected extra initiator stall
+	// (faultinject.SiteVMShootdownDelay); already included in the per-kind
+	// initiator buckets above.
+	DelayCycles uint64
+}
+
+// InitCycles returns the total initiator stall across all shootdown kinds.
+func (s ShootdownStats) InitCycles() uint64 {
+	return s.ClearInitCycles + s.RemapInitCycles + s.UnmapInitCycles
+}
+
+// SharerSource reports which cores may privately cache data of the physical
+// page at byte address addr (size bytes): the cache hierarchy's directory
+// sharer bitset, unioned with TLB residency to form the shootdown target
+// set. Implemented by cache.Hierarchy.PageSharerCores.
+type SharerSource interface {
+	PageSharerCores(addr, size uint64) uint32
+}
+
+// shootdownKind distinguishes what invalidated a translation.
+type shootdownKind int
+
+const (
+	shootClear shootdownKind = iota
+	shootRemap
+	shootUnmap
+)
+
+func (k shootdownKind) String() string {
+	switch k {
+	case shootClear:
+		return "clear"
+	case shootRemap:
+		return "remap"
+	}
+	return "unmap"
+}
 
 // pte is a page-table entry. mapped distinguishes a never-touched slot of a
 // page-table leaf from a mapped page whose present bit was cleared by the
@@ -184,6 +238,21 @@ type AddressSpace struct {
 	// paths (see internal/faultinject). Like obsFault it is only consulted
 	// off the TLB-hit fast path, so fault-free runs are unchanged.
 	inj *faultinject.Injector
+
+	// Translation-coherence cost model (DESIGN.md §15). sdMode/sdCosts are
+	// cached from the machine at construction; ShootdownNone keeps every
+	// path below bit-for-bit identical to the pre-model behavior.
+	sdMode    topology.ShootdownMode
+	sdCosts   topology.ShootdownParams
+	sd        ShootdownStats
+	sharerSrc SharerSource
+	// pendingRemote accumulates, per core, the remote TLB-invalidate cycles
+	// charged since the engine last drained them into thread clocks.
+	pendingRemote []uint64
+	pendingAny    bool
+	// probe, when non-nil, receives one tlb.shootdown event per charged
+	// shootdown. Only set when a shootdown mode is armed.
+	probe *obs.Probe
 }
 
 // NewAddressSpace creates the MMU state for one application on machine m.
@@ -193,13 +262,16 @@ func NewAddressSpace(m *topology.Machine) *AddressSpace {
 		shift++
 	}
 	as := &AddressSpace{
-		mach:        m,
-		pageShift:   shift,
-		costs:       DefaultCosts(),
-		pages:       make(map[uint64]*pteLeaf),
-		residentIdx: make(map[uint64]int),
-		tlbs:        make([][]tlbEntry, m.NumContexts()),
-		nodePages:   make([]uint64, m.NumNodes()),
+		mach:          m,
+		pageShift:     shift,
+		costs:         DefaultCosts(),
+		pages:         make(map[uint64]*pteLeaf),
+		residentIdx:   make(map[uint64]int),
+		tlbs:          make([][]tlbEntry, m.NumContexts()),
+		nodePages:     make([]uint64, m.NumNodes()),
+		sdMode:        m.Shootdown,
+		sdCosts:       m.ShootdownCosts,
+		pendingRemote: make([]uint64, m.NumCores()),
 	}
 	for i := range as.tlbs {
 		as.tlbs[i] = make([]tlbEntry, tlbSize)
@@ -275,7 +347,27 @@ func (as *AddressSpace) RegisterObs(p *obs.Probe) {
 	// Bucket edges bracket the cost model: a bare walk (~40), walk +
 	// induced restore or first touch (~840-1040), and pile-ups beyond.
 	as.obsFault = reg.Histogram("vm.fault_cycles", []float64{64, 256, 1024, 4096})
+	// Shootdown columns and events exist only when a mode is armed, so
+	// mode-none CSV artifacts keep their exact column set.
+	if as.sdMode != topology.ShootdownNone {
+		as.probe = p
+		reg.CounterFunc("vm.shootdown.events", func() uint64 { return as.sd.Events })
+		reg.CounterFunc("vm.shootdown.sharers", func() uint64 { return as.sd.SharersTotal })
+		reg.CounterFunc("vm.shootdown.init_cycles", func() uint64 { return as.sd.InitCycles() })
+		reg.CounterFunc("vm.shootdown.remote_cycles", func() uint64 { return as.sd.RemoteCycles })
+	}
 }
+
+// SetSharerSource wires the cache directory into the shootdown target-set
+// computation. Without one (or under ShootdownNone) only TLB residency
+// determines the sharer set.
+func (as *AddressSpace) SetSharerSource(s SharerSource) { as.sharerSrc = s }
+
+// ShootdownStats returns a copy of the translation-coherence counters.
+func (as *AddressSpace) ShootdownStats() ShootdownStats { return as.sd }
+
+// ShootdownMode returns the armed translation-coherence scheme.
+func (as *AddressSpace) ShootdownMode() topology.ShootdownMode { return as.sdMode }
 
 // ResidentPages returns the number of mapped, present pages.
 func (as *AddressSpace) ResidentPages() int { return len(as.resident) }
@@ -432,11 +524,120 @@ func (as *AddressSpace) removeResident(vpn uint64) {
 	delete(as.residentIdx, vpn)
 }
 
+// invalidateTLBs drops page vpn from every context's TLB, counting each
+// invalidation, and returns the bitmask of cores whose TLB held the
+// translation — the TLB half of the shootdown sharer set.
+func (as *AddressSpace) invalidateTLBs(vpn uint64) uint32 {
+	var cores uint32
+	for ctx := range as.tlbs {
+		t := &as.tlbs[ctx][vpn%tlbSize]
+		if t.valid && t.vpn == vpn {
+			t.valid = false
+			as.stats.Shootdowns++
+			// The directory's sharer bitset is 32 cores wide; machines past
+			// that fall back to TLB-count-only accuracy, like the directory.
+			if c := as.mach.CoreOf(ctx); c < 32 {
+				cores |= 1 << uint(c)
+			}
+		}
+	}
+	return cores
+}
+
+// chargeShootdown prices one translation invalidation of the page whose old
+// physical frame is frame. The sharer set is the union of cores whose TLB
+// held the translation (tlbCores) and cores the cache directory records as
+// privately caching the page's lines — both may hold the stale translation
+// or its cached data. Under IPI the initiator stalls for the fixed setup
+// plus a per-sharer increment, and every sharer core absorbs the remote
+// invalidate cost; HATRIC charges the same structure scaled by its factor.
+// Initiator cycles accumulate in ShootdownStats (the policy and engine
+// attribute them to detection/mapping overhead); remote cycles accumulate
+// per core until the engine drains them into thread clocks.
+func (as *AddressSpace) chargeShootdown(kind shootdownKind, frame int64, tlbCores uint32, now uint64) {
+	if as.sdMode == topology.ShootdownNone {
+		return
+	}
+	sharers := tlbCores
+	if as.sharerSrc != nil && frame >= 0 {
+		addr := uint64(frame) << as.pageShift
+		sharers |= as.sharerSrc.PageSharerCores(addr, uint64(as.mach.PageSize))
+	}
+	n := bits.OnesCount32(sharers)
+	p := as.sdCosts
+	initCycles := uint64(p.InitiatorCycles) + uint64(p.PerSharerCycles)*uint64(n)
+	remoteEachCycles := uint64(p.RemoteInvCycles)
+	if as.sdMode == topology.ShootdownHATRIC {
+		initCycles = uint64(float64(initCycles) * p.HATRICFactor)
+		remoteEachCycles = uint64(float64(remoteEachCycles) * p.HATRICFactor)
+	}
+	if as.inj != nil && as.inj.Hit(faultinject.SiteVMShootdownDelay) {
+		d := as.inj.Plan().ShootdownDelayCycles
+		initCycles += d
+		as.sd.DelayCycles += d
+	}
+	as.sd.Events++
+	as.sd.SharersTotal += uint64(n)
+	switch kind {
+	case shootClear:
+		as.sd.ClearInitCycles += initCycles
+	case shootRemap:
+		as.sd.RemapInitCycles += initCycles
+	default:
+		as.sd.UnmapInitCycles += initCycles
+	}
+	if remoteEachCycles > 0 {
+		for m := sharers; m != 0; m &= m - 1 {
+			core := bits.TrailingZeros32(m)
+			if core < len(as.pendingRemote) {
+				as.pendingRemote[core] += remoteEachCycles
+				as.sd.RemoteCycles += remoteEachCycles
+				as.pendingAny = true
+			}
+		}
+	}
+	as.probe.Emit(now, "vm", "tlb.shootdown", -1,
+		obs.Str("kind", kind.String()),
+		obs.Uint("sharers", uint64(n)),
+		obs.Uint("init_cycles", initCycles),
+		obs.Uint("remote_cycles", remoteEachCycles*uint64(n)))
+}
+
+// DrainRemoteStalls copies the per-core remote TLB-invalidate cycles
+// accumulated since the last drain into out (grown as needed) and zeroes
+// the pending buffer. The bool reports whether anything was pending; when
+// false, out is returned untouched. The engines call this after each policy
+// tick — the only window where shootdowns happen — and add each core's
+// cycles to the clocks of the threads running there, in thread order, so
+// the charge lands identically at any worker or shard count.
+func (as *AddressSpace) DrainRemoteStalls(out []uint64) ([]uint64, bool) {
+	if !as.pendingAny {
+		return out, false
+	}
+	if cap(out) < len(as.pendingRemote) {
+		out = make([]uint64, len(as.pendingRemote))
+	}
+	out = out[:len(as.pendingRemote)]
+	copy(out, as.pendingRemote)
+	for i := range as.pendingRemote {
+		as.pendingRemote[i] = 0
+	}
+	as.pendingAny = false
+	return out, true
+}
+
 // ClearPresent clears the present bit of page vpn and shoots down the TLB
 // entry on every context, so the next access faults. It reports whether the
 // page was present. This is the primitive the SPCD sampler thread uses to
-// create additional page faults (paper §III-B2).
+// create additional page faults (paper §III-B2). The shootdown is charged
+// at virtual time 0; callers inside the simulation use ClearPresentAt.
 func (as *AddressSpace) ClearPresent(vpn uint64) bool {
+	return as.ClearPresentAt(vpn, 0)
+}
+
+// ClearPresentAt is ClearPresent at simulated time now, which timestamps the
+// shootdown's trace event and prices it under the armed shootdown mode.
+func (as *AddressSpace) ClearPresentAt(vpn uint64, now uint64) bool {
 	entry := as.lookupPTE(vpn)
 	if entry == nil || !entry.present {
 		return false
@@ -444,13 +645,8 @@ func (as *AddressSpace) ClearPresent(vpn uint64) bool {
 	entry.present = false
 	as.removeResident(vpn)
 	as.stats.PresentCleared++
-	for ctx := range as.tlbs {
-		t := &as.tlbs[ctx][vpn%tlbSize]
-		if t.valid && t.vpn == vpn {
-			t.valid = false
-			as.stats.Shootdowns++
-		}
-	}
+	tlbCores := as.invalidateTLBs(vpn)
+	as.chargeShootdown(shootClear, entry.frame, tlbCores, now)
 	return true
 }
 
@@ -546,8 +742,18 @@ func (as *AddressSpace) MigratePage(vpn uint64, node int) bool {
 
 // TryMigratePage is MigratePage with the full outcome: it distinguishes
 // no-ops from the injected failure modes so policies can retry transient
-// failures with backoff and give up on exhausted nodes.
+// failures with backoff and give up on exhausted nodes. The shootdown is
+// charged at virtual time 0; callers inside the simulation use
+// TryMigratePageAt.
 func (as *AddressSpace) TryMigratePage(vpn uint64, node int) MigrateOutcome {
+	return as.TryMigratePageAt(vpn, node, 0)
+}
+
+// TryMigratePageAt is TryMigratePage at simulated time now. On a successful
+// migration the stale translation's shootdown is priced against the page's
+// old frame — the frame whose lines the directory attributes to sharer
+// cores — before the remap installs the new one.
+func (as *AddressSpace) TryMigratePageAt(vpn uint64, node int, now uint64) MigrateOutcome {
 	entry := as.lookupPTE(vpn)
 	if entry == nil || int(entry.node) == node || node < 0 || node >= as.mach.NumNodes() {
 		return MigrateNoop
@@ -562,20 +768,39 @@ func (as *AddressSpace) TryMigratePage(vpn uint64, node int) MigrateOutcome {
 			return MigrateTransientFail
 		}
 	}
+	oldFrame := entry.frame
 	as.nodePages[entry.node]--
 	as.nodePages[node]++
 	entry.node = int8(node)
 	entry.frame = as.nextFrame
 	as.nextFrame++
 	as.stats.PageMigrations++
-	for ctx := range as.tlbs {
-		t := &as.tlbs[ctx][vpn%tlbSize]
-		if t.valid && t.vpn == vpn {
-			t.valid = false
-			as.stats.Shootdowns++
-		}
-	}
+	tlbCores := as.invalidateTLBs(vpn)
+	as.chargeShootdown(shootRemap, oldFrame, tlbCores, now)
 	return MigrateOK
+}
+
+// Unmap removes page vpn from the address space entirely, modeling
+// munmap(2): the mapping is destroyed, its frame's node count released, and
+// the stale translation shot down on every context that held it. It reports
+// whether the page was mapped. Nothing in the paper's mechanism unmaps
+// pages mid-run; the primitive exists so the shootdown cost model covers
+// the full invalidation surface (remap, unmap, present-clear).
+func (as *AddressSpace) Unmap(vpn uint64, now uint64) bool {
+	entry := as.lookupPTE(vpn)
+	if entry == nil {
+		return false
+	}
+	if entry.present {
+		as.removeResident(vpn)
+	}
+	as.nodePages[entry.node]--
+	oldFrame := entry.frame
+	as.mappedPages--
+	*entry = pte{}
+	tlbCores := as.invalidateTLBs(vpn)
+	as.chargeShootdown(shootUnmap, oldFrame, tlbCores, now)
+	return true
 }
 
 // Present reports whether page vpn is mapped and present.

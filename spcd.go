@@ -50,6 +50,20 @@ func NewMachine(sockets, coresPerSocket, threadsPerCore int) (*Machine, error) {
 	return topology.New(sockets, coresPerSocket, threadsPerCore)
 }
 
+// ConfigureShootdown arms the machine's translation-coherence cost model
+// from its CLI spelling: "none" (remaps are free — the default), "ipi"
+// (software IPI shootdowns), or "hatric" (HATRIC-style hardware translation
+// coherence). The cost parameters come from the machine's ShootdownCosts,
+// which DefaultMachine pre-populates.
+func ConfigureShootdown(m *Machine, mode string) error {
+	sd, err := topology.ParseShootdownMode(mode)
+	if err != nil {
+		return err
+	}
+	m.Shootdown = sd
+	return m.Validate()
+}
+
 // Workload is a parallel application the simulator can execute. Implement
 // it (and optionally workloads.Initializer) to plug custom applications
 // into the simulator; see examples/custom_workload.
