@@ -10,7 +10,7 @@
 # verify.sh's BENCH=1 / OBS=1 blocks call these targets, so the recipe lives
 # in exactly one place.
 
-.PHONY: build test race lint lint-bench verify bench bench-smoke obs-smoke chaos-smoke shard-smoke runtimeobs-smoke shootdown-smoke
+.PHONY: build test race lint lint-bench verify bench bench-smoke obs-smoke chaos-smoke shard-smoke runtimeobs-smoke shootdown-smoke churn-smoke
 
 build:
 	go build ./...
@@ -100,6 +100,21 @@ shootdown-smoke:
 		-policies os,spcd -intensities 0,0.5,1 -seed 42 -reps 2 \
 		-shootdown hatric -check -checkshards \
 		-csv $(SHOOTDOWN_DIR)/shootdown_hatric.csv
+
+# The long-running serving scenario under churn at ClassSmall scale: a
+# two-tenant schedule (arrival, phase switch) across the fault-intensity
+# axis, compared against its churn-free baseline. -check reruns the whole
+# grid at parallelism 1 vs 8 and -checkshards at shards 1 vs 4; both must be
+# byte-identical, proving the scenario loop, admission retries and churn
+# governor stay on the deterministic path. The SLO CSV lands in CHURN_DIR
+# (CI uploads it as an artifact).
+CHURN_DIR ?= .churn-smoke
+
+churn-smoke:
+	mkdir -p $(CHURN_DIR)
+	go run ./cmd/chaossweep -churn -tenants 2 -class small \
+		-intensities 0,0.5,1 -seed 42 -reps 2 -check -checkshards \
+		-csv $(CHURN_DIR)/slo_under_churn.csv
 
 # The epoch-sharded engine's byte-identity gate at full ClassSmall scale:
 # the complete kernel x policy grid must be identical at shards 1/2/4/8,

@@ -13,6 +13,9 @@
 //	chaossweep -bench CG -csv curves.csv -parallel 4
 //	chaossweep -shootdown ipi -check -checkshards     # honest remap costs, byte-
 //	                                                  # identity at 1/8 workers and 1/4 shards
+//	chaossweep -churn -tenants 3 -class test          # SLO-under-churn axis: the
+//	                                                  # multi-tenant serving scenario
+//	                                                  # vs its churn-free baseline
 //
 // Determinism: every fault decision is drawn from streams seeded purely by
 // (plan seed, run seed, site), so the full report — including the injected
@@ -50,6 +53,10 @@ func main() {
 		csvPath     = flag.String("csv", "", "also write the curves as CSV to this path")
 		check       = flag.Bool("check", false, "build the report twice (parallelism 1 and 8) and fail unless byte-identical")
 		checkShards = flag.Bool("checkshards", false, "also build the epoch-sharded report at shards 1 and 4 and fail unless byte-identical")
+
+		churn   = flag.Bool("churn", false, "SLO-under-churn mode: run the multi-tenant serving scenario per intensity instead of a single kernel (default policies static,spcd)")
+		tenants = flag.Int("tenants", 3, "churn mode: tenants in the serving schedule")
+		budget  = flag.Int("budget", 4, "churn mode: churn governor's max thread moves per interval")
 
 		runtimeDir = flag.String("runtimeobs", "", "write host runtime-observability artifacts (runtime_trace.json, runtime_summary.json) to this directory")
 	)
@@ -104,6 +111,47 @@ func main() {
 	}
 	if len(pols) == 0 || len(axis) == 0 {
 		fatal(fmt.Errorf("need at least one policy and one intensity"))
+	}
+
+	if *churn {
+		polSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "policies" {
+				polSet = true
+			}
+		})
+		if !polSet {
+			// The serving-mode comparison of record: online SPCD against the
+			// static initial placement.
+			pols = []string{"static", "spcd"}
+		}
+		cg := churnGrid{
+			tenants: *tenants, class: cls, policies: pols, axis: axis,
+			seed: *seed, reps: *reps, shards: *shards, budget: *budget,
+		}
+		warnOversubscribed(*parallel, *shards)
+		if *check {
+			rep1, csv1 := cg.run(1)
+			rep8, csv8 := cg.run(8)
+			if rep1 != rep8 || csv1 != csv8 {
+				fatal(fmt.Errorf("determinism check failed: parallelism 1 and 8 disagree"))
+			}
+			fmt.Fprintln(os.Stderr, "check ok: churn report byte-identical at parallelism 1 and 8")
+			if *checkShards {
+				checkChurnShards(cg)
+			}
+			emit(rep1, csv1, *csvPath)
+		} else {
+			if *checkShards {
+				checkChurnShards(cg)
+			}
+			rep, csv := cg.run(*parallel)
+			emit(rep, csv, *csvPath)
+		}
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	g := grid{

@@ -330,7 +330,13 @@ func tableII(names []string, results map[string]*spcd.Results) *report.Table {
 				cells = append(cells, "n/a")
 				continue
 			}
-			pct, _ := res.PercentChange("spcd", row.metric, "os")
+			pct, perr := res.PercentChange("spcd", row.metric, "os")
+			if perr != nil {
+				// Degenerate baseline (zero/NaN mean): show the absolute
+				// value but refuse to fabricate a percentage.
+				cells = append(cells, fmt.Sprintf(row.format+" (n/a)", sum.Mean))
+				continue
+			}
 			cells = append(cells, fmt.Sprintf(row.format+" (%+.1f%%)", sum.Mean, pct))
 		}
 		t.AddRow(cells...)

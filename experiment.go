@@ -245,7 +245,8 @@ func (r *Results) NormalizedMean(policyName string, metric Metric, baseline stri
 }
 
 // PercentChange returns the relative change (percent) of the metric under
-// policyName versus baseline, as reported in Table II.
+// policyName versus baseline, as reported in Table II. A zero or NaN
+// baseline mean is an explicit error rather than a silent 0/NaN/±Inf cell.
 func (r *Results) PercentChange(policyName string, metric Metric, baseline string) (float64, error) {
 	p, err := r.Summary(policyName, metric)
 	if err != nil {
@@ -255,5 +256,5 @@ func (r *Results) PercentChange(policyName string, metric Metric, baseline strin
 	if err != nil {
 		return 0, err
 	}
-	return stats.PercentChange(p.Mean, b.Mean), nil
+	return stats.PercentChange(p.Mean, b.Mean)
 }

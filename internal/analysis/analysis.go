@@ -350,6 +350,7 @@ var deterministicPkgs = map[string]bool{
 	"spcd/internal/obs":         true,
 	"spcd/internal/sweep":       true,
 	"spcd/internal/faultinject": true,
+	"spcd/internal/scenario":    true,
 }
 
 // isDeterministicPkg reports whether importPath is one of the simulator

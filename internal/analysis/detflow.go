@@ -171,6 +171,13 @@ func isEntryNode(n *Node) bool {
 		return name == "Run" || name == "runSharded" || name == "simulateCore"
 	case "spcd/internal/sweep":
 		return recv != nil && name == "Run"
+	case "spcd/internal/scenario":
+		// The multi-tenant serving loop and its churn governor: every
+		// admission draw, boundary remap and budget decision must stay on
+		// the deterministic path or the scenario byte-identity contract
+		// (same seed, any parallelism/shard count) breaks.
+		return (recv == nil && strings.HasPrefix(name, "Run")) ||
+			(recv != nil && (name == "propose" || name == "Tick"))
 	case "spcd/internal/policy", "spcd/internal/mapping", "spcd/internal/core":
 		return recv != nil && (name == "Evaluate" || name == "Saturate" || name == "Tick")
 	case "spcd/internal/faultinject":

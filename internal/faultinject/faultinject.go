@@ -65,6 +65,12 @@ const (
 	// spins until it re-enables them. Only consulted when a shootdown mode
 	// is armed, so plans with this rate set leave mode-none runs untouched.
 	SiteVMShootdownDelay Site = "vm.shootdown.delay"
+	// SiteScenarioAdmitFail rejects a tenant's arrival at admission control
+	// in the multi-tenant scenario layer (internal/scenario), as when a real
+	// cluster scheduler bounces a job under transient resource pressure. The
+	// scenario retries the tenant with doubling backoff — an arrival is
+	// deferred, never silently dropped.
+	SiteScenarioAdmitFail Site = "scenario.admit.fail"
 )
 
 // Sites is the package-level site registry, in declaration order. The
@@ -79,6 +85,7 @@ var Sites = []Site{
 	SitePolicyRemapDelay,
 	SiteEngineThreadStall,
 	SiteVMShootdownDelay,
+	SiteScenarioAdmitFail,
 }
 
 // siteIdx maps a Site to its position in Sites; built once at init.
@@ -138,6 +145,10 @@ type Plan struct {
 	// ShootdownDelayCycles is the extra initiator stall charged when the
 	// delay fires.
 	ShootdownDelayCycles uint64
+	// AdmitFailRate is the probability a tenant arrival is rejected at
+	// admission control (SiteScenarioAdmitFail). Only the scenario layer
+	// consults it, so batch runs are untouched by a nonzero rate.
+	AdmitFailRate float64
 }
 
 // DefaultPlan returns the canonical fault mix scaled by intensity in [0,1]
@@ -164,6 +175,7 @@ func DefaultPlan(seed int64, intensity float64) Plan {
 		StallBurstCycles:     20_000,
 		ShootdownDelayRate:   0.15 * intensity,
 		ShootdownDelayCycles: 10_000,
+		AdmitFailRate:        0.25 * intensity,
 	}
 	if intensity > 0 {
 		// Tighter capacity headroom at higher intensity: 2× the even
@@ -183,7 +195,8 @@ func CanonicalPlan(seed int64) Plan { return DefaultPlan(seed, 0.5) }
 func (p Plan) Active() bool {
 	return p.FaultDropRate > 0 || p.FaultDupRate > 0 || p.MigrateFailRate > 0 ||
 		p.NodeCapacityFactor > 0 || p.SamplerSaturateRate > 0 ||
-		p.RemapDelayRate > 0 || p.StallRate > 0 || p.ShootdownDelayRate > 0
+		p.RemapDelayRate > 0 || p.StallRate > 0 || p.ShootdownDelayRate > 0 ||
+		p.AdmitFailRate > 0
 }
 
 // rate returns the plan's probability for site s (capacity is not a rate
@@ -202,6 +215,8 @@ func (p Plan) rate(s Site) float64 {
 		return p.RemapDelayRate
 	case SiteVMShootdownDelay:
 		return p.ShootdownDelayRate
+	case SiteScenarioAdmitFail:
+		return p.AdmitFailRate
 	case SiteEngineThreadStall:
 		// A thread stalled on every slice would never retire an access;
 		// clamp so forward progress is guaranteed under any plan.
@@ -230,7 +245,8 @@ func (p Plan) Digest() string {
 		"|" + g(p.StallRate) +
 		"|" + strconv.FormatUint(p.StallBurstCycles, 10) +
 		"|" + g(p.ShootdownDelayRate) +
-		"|" + strconv.FormatUint(p.ShootdownDelayCycles, 10)
+		"|" + strconv.FormatUint(p.ShootdownDelayCycles, 10) +
+		"|" + g(p.AdmitFailRate)
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211

@@ -217,6 +217,7 @@ func TestDigest(t *testing.T) {
 		func() Plan { q := p; q.NodeCapacityFactor += 0.01; return q }(),
 		func() Plan { q := p; q.ShootdownDelayRate += 0.01; return q }(),
 		func() Plan { q := p; q.ShootdownDelayCycles++; return q }(),
+		func() Plan { q := p; q.AdmitFailRate += 0.01; return q }(),
 	}
 	seen := map[string]bool{p.Digest(): true}
 	for i, v := range variants {

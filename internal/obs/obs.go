@@ -80,6 +80,16 @@ func Uint(key string, v uint64) Arg { return Arg{Key: key, kind: argUint, u: v} 
 // Float builds a float-valued event argument.
 func Float(key string, v float64) Arg { return Arg{Key: key, kind: argFloat, f: v} }
 
+// UintVal returns the integer payload (0 for non-integer args), so event
+// consumers can audit numeric fields without reparsing the JSON export.
+func (a Arg) UintVal() uint64 { return a.u }
+
+// StrVal returns the string payload ("" for non-string args).
+func (a Arg) StrVal() string { return a.s }
+
+// FloatVal returns the float payload (0 for non-float args).
+func (a Arg) FloatVal() float64 { return a.f }
+
 // Probe collects one run's observability data. The zero value is not
 // usable; construct with New. A nil *Probe is the disabled layer: every
 // method is a no-op.

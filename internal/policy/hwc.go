@@ -56,18 +56,26 @@ type HWCOptions struct {
 	// MinImprovement and MoveCostCycles gate migrations as in SPCD.
 	MinImprovement float64
 	MoveCostCycles float64
+	// InitialPlacement, when non-nil, seeds the migrator with this
+	// placement instead of the OS scatter (see SPCDOptions).
+	InitialPlacement []int
 }
 
 // NewHWC creates the hardware-counter policy.
 func NewHWC(opts HWCOptions) *HWC { return &HWC{opts: opts} }
 
-// TunedHWC returns an HWC policy with periods scaled to the workload.
-func TunedHWC(w workloads.Workload, m *topology.Machine) *HWC {
+// TunedHWCOptions returns the scaled HWC policy options for workload w.
+func TunedHWCOptions(w workloads.Workload, m *topology.Machine) HWCOptions {
 	nominal := workloads.NominalCycles(w)
-	return NewHWC(HWCOptions{
+	return HWCOptions{
 		EvalIntervalCycles: maxU64(nominal/8, 1),
 		MinImprovement:     0.05,
-	})
+	}
+}
+
+// TunedHWC returns an HWC policy with periods scaled to the workload.
+func TunedHWC(w workloads.Workload, m *topology.Machine) *HWC {
+	return NewHWC(TunedHWCOptions(w, m))
 }
 
 // Name implements engine.Policy.
@@ -85,7 +93,11 @@ func (p *HWC) Init(env *engine.Env) error {
 		return err
 	}
 	p.mapper = mp
-	p.mig = newMigrator(env.Machine, mp, Scatter(env.Machine, env.NumThreads),
+	initial := p.opts.InitialPlacement
+	if initial == nil {
+		initial = Scatter(env.Machine, env.NumThreads)
+	}
+	p.mig = newMigrator(env.Machine, mp, initial,
 		p.opts.MinImprovement, p.opts.MoveCostCycles)
 	p.evalInterval = p.opts.EvalIntervalCycles
 	if p.evalInterval == 0 {

@@ -252,6 +252,13 @@ type SPCDOptions struct {
 	// translation-coherence model (topology.ShootdownMode) and folded into
 	// the same mapping-overhead accounting when a mode is armed.
 	PageMigrationCostCycles uint64
+
+	// InitialPlacement, when non-nil, seeds the migrator with this
+	// thread -> context placement instead of the OS scatter. The scenario
+	// layer (internal/scenario) uses it so a mid-life tenant mix resumes
+	// from its current serving placement rather than restarting from
+	// scratch every interval.
+	InitialPlacement []int
 }
 
 // SPCD is the paper's mechanism as an engine policy.
@@ -335,7 +342,11 @@ func (p *SPCD) Init(env *engine.Env) error {
 	p.detector = det
 	p.sampler = smp
 	p.mapper = mp
-	p.mig = newMigrator(env.Machine, mp, Scatter(env.Machine, env.NumThreads),
+	initial := p.opts.InitialPlacement
+	if initial == nil {
+		initial = Scatter(env.Machine, env.NumThreads)
+	}
+	p.mig = newMigrator(env.Machine, mp, initial,
 		p.opts.MinImprovement, p.opts.MoveCostCycles)
 	env.AS.AddHandler(det.HandleFault)
 

@@ -61,20 +61,28 @@ type TLBOptions struct {
 	// MinImprovement and MoveCostCycles gate migrations as in SPCD.
 	MinImprovement float64
 	MoveCostCycles float64
+	// InitialPlacement, when non-nil, seeds the migrator with this
+	// placement instead of the OS scatter (see SPCDOptions).
+	InitialPlacement []int
 }
 
 // NewTLB creates the TLB-detection policy.
 func NewTLB(opts TLBOptions) *TLB { return &TLB{opts: opts} }
 
-// TunedTLB returns a TLB policy with periods scaled to the workload, using
-// the same ratios as the tuned SPCD policy so comparisons are fair.
-func TunedTLB(w workloads.Workload, m *topology.Machine) *TLB {
+// TunedTLBOptions returns the scaled TLB policy options for workload w,
+// using the same ratios as the tuned SPCD policy so comparisons are fair.
+func TunedTLBOptions(w workloads.Workload, m *topology.Machine) TLBOptions {
 	nominal := workloads.NominalCycles(w)
-	return NewTLB(TLBOptions{
+	return TLBOptions{
 		ScanIntervalCycles: maxU64(nominal/64, 1),
 		EvalIntervalCycles: maxU64(nominal/8, 1),
 		MinImprovement:     0.05,
-	})
+	}
+}
+
+// TunedTLB returns a TLB policy with periods scaled to the workload.
+func TunedTLB(w workloads.Workload, m *topology.Machine) *TLB {
+	return NewTLB(TunedTLBOptions(w, m))
 }
 
 // Name implements engine.Policy.
@@ -91,7 +99,11 @@ func (p *TLB) Init(env *engine.Env) error {
 		return err
 	}
 	p.mapper = mp
-	p.mig = newMigrator(env.Machine, mp, Scatter(env.Machine, env.NumThreads),
+	initial := p.opts.InitialPlacement
+	if initial == nil {
+		initial = Scatter(env.Machine, env.NumThreads)
+	}
+	p.mig = newMigrator(env.Machine, mp, initial,
 		p.opts.MinImprovement, p.opts.MoveCostCycles)
 
 	p.scanInterval = p.opts.ScanIntervalCycles

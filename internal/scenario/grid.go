@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// RunJobs executes the given scenario specs, up to parallelism at a time,
+// and returns their reports and errors positionally. Results are identical
+// at every parallelism: each scenario is a pure function of its spec, jobs
+// only ever write their own result slot (the sweep runner's collection
+// idiom), and nothing is ordered by completion time. A panicking scenario
+// is captured as that job's error; the rest of the batch completes.
+func RunJobs(specs []Spec, parallelism int) ([]*Report, []error) {
+	n := len(specs)
+	reports := make([]*Report, n)
+	errs := make([]error, n)
+	if parallelism <= 1 || n <= 1 {
+		for i := range specs {
+			reports[i], errs[i] = runJob(specs[i])
+		}
+		return reports, errs
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				reports[i], errs[i] = runJob(specs[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return reports, errs
+}
+
+// runJob runs one scenario, converting a panic into an error so one broken
+// spec cannot take down a batch.
+func runJob(s Spec) (rep *Report, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("scenario: panic: %v\n%s", v, debug.Stack())
+		}
+	}()
+	return Run(s)
+}

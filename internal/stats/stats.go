@@ -82,21 +82,30 @@ func (s Summary) String() string {
 
 // Normalize divides each sample mean by the baseline mean, producing the
 // "normalized to the OS" values used in Figures 8-15. It returns an error if
-// the baseline mean is zero.
+// the baseline mean is zero or NaN — a missing or degenerate baseline must
+// surface as an error, never as ±Inf/NaN silently flowing into a report.
 func Normalize(value, baseline float64) (float64, error) {
 	if baseline == 0 {
 		return 0, errors.New("stats: cannot normalize to zero baseline")
+	}
+	if math.IsNaN(baseline) || math.IsNaN(value) {
+		return 0, errors.New("stats: cannot normalize NaN values")
 	}
 	return value / baseline, nil
 }
 
 // PercentChange returns the relative change of value versus baseline in
-// percent, as reported in Table II (negative means reduction).
-func PercentChange(value, baseline float64) float64 {
+// percent, as reported in Table II (negative means reduction). Like
+// Normalize, a zero or NaN baseline is an explicit error, not a silent 0 or
+// NaN in the table.
+func PercentChange(value, baseline float64) (float64, error) {
 	if baseline == 0 {
-		return 0
+		return 0, errors.New("stats: cannot compute percent change against zero baseline")
 	}
-	return (value - baseline) / baseline * 100
+	if math.IsNaN(baseline) || math.IsNaN(value) {
+		return 0, errors.New("stats: cannot compute percent change of NaN values")
+	}
+	return (value - baseline) / baseline * 100, nil
 }
 
 // TQuantile returns the quantile function (inverse CDF) of the Student-t

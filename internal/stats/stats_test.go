@@ -190,14 +190,20 @@ func TestNormalize(t *testing.T) {
 }
 
 func TestPercentChange(t *testing.T) {
-	if got := PercentChange(83.3, 100); !almostEqual(got, -16.7, 1e-9) {
-		t.Errorf("PercentChange = %g, want -16.7", got)
+	if got, err := PercentChange(83.3, 100); err != nil || !almostEqual(got, -16.7, 1e-9) {
+		t.Errorf("PercentChange = %g, %v, want -16.7", got, err)
 	}
-	if got := PercentChange(104.6, 100); !almostEqual(got, 4.6, 1e-9) {
-		t.Errorf("PercentChange = %g, want 4.6", got)
+	if got, err := PercentChange(104.6, 100); err != nil || !almostEqual(got, 4.6, 1e-9) {
+		t.Errorf("PercentChange = %g, %v, want 4.6", got, err)
 	}
-	if PercentChange(5, 0) != 0 {
-		t.Error("PercentChange with zero baseline should be 0")
+	if _, err := PercentChange(5, 0); err == nil {
+		t.Error("expected error for zero baseline")
+	}
+	if _, err := PercentChange(math.NaN(), 100); err == nil {
+		t.Error("expected error for NaN value")
+	}
+	if _, err := Normalize(math.NaN(), 100); err == nil {
+		t.Error("expected error normalizing NaN")
 	}
 }
 
